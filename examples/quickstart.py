@@ -1,0 +1,61 @@
+"""Quickstart: characterize one Rodinia workload on both substrates.
+
+Runs HotSpot's CUDA-style implementation on the SIMT GPU simulator and
+its OpenMP-style implementation on the instrumented CPU machine, then
+prints the paper's per-workload metrics.
+
+    python examples/quickstart.py
+"""
+
+from repro.common.config import SimScale
+from repro.cpusim import Machine, characterize_trace
+from repro.gpusim import GPU, GPUConfig, TimingModel
+from repro.workloads import get
+
+SCALE = SimScale.SMALL
+
+
+def main() -> None:
+    workload = get("hotspot")
+    print(f"Workload: {workload.meta.name} — {workload.meta.description}")
+    print(f"Dwarf: {workload.meta.dwarf}; paper size: {workload.meta.paper_size}")
+
+    # ------------------------------------------------------------------
+    # GPU side: functional execution produces a timing-independent trace.
+    # ------------------------------------------------------------------
+    gpu = GPU()
+    result = workload.gpu_fn(gpu, SCALE)
+    workload.check_gpu(result, SCALE)      # verify against the reference
+    trace = gpu.trace
+    print(f"\nGPU run: {trace.n_launches} kernel launches, "
+          f"{trace.thread_insts:,} thread instructions")
+    mix = trace.mem_mix()
+    print("Memory mix:", {k: f"{v:.1%}" for k, v in mix.items() if v > 0})
+    print("Warp occupancy:", {k: f"{v:.1%}"
+                              for k, v in trace.occupancy_buckets().items()})
+
+    # One trace, many machines (this is how Figs. 1, 4, 5 are made):
+    for config in (GPUConfig.sim_8sm(), GPUConfig.sim_default(),
+                   GPUConfig.gtx480_shared_bias()):
+        timing = TimingModel(config).time(trace)
+        print(f"  {config.name:>20}: IPC={timing.ipc:7.1f}  "
+              f"time={timing.time_s * 1e3:6.2f} ms  "
+              f"BW util={timing.bw_utilization:.1%}")
+
+    # ------------------------------------------------------------------
+    # CPU side: the Pin-style instrumented run.
+    # ------------------------------------------------------------------
+    machine = Machine(n_threads=8)
+    result = workload.cpu_fn(machine, SCALE)
+    workload.check_cpu(result, SCALE)
+    metrics = characterize_trace(machine, workload.meta.name)
+    print(f"\nCPU run: {metrics.mem_refs:,} memory references")
+    print("Instruction mix:", {k: f"{v:.1%}" for k, v in metrics.inst_mix.items()})
+    print(f"Miss rate @ 4 MB shared cache: {metrics.miss_rate_4mb:.2%}")
+    print(f"Lines shared between threads: {metrics.sharing.frac_lines_shared:.1%}")
+    print(f"Data footprint: {metrics.data_footprint_4kb} pages "
+          f"(~{metrics.data_footprint_4kb * 4 / 1024:.1f} MB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Benchmark-suite similarity analysis (the Section IV methodology).
+
+Characterizes a selection of Rodinia and Parsec workloads on the
+instrumented CPU machine, builds the standardized feature matrix,
+reduces it with PCA, and prints the dendrogram plus the redundancy
+pairs (closest workloads) — how you would test whether a new benchmark
+adds diversity to an existing suite.
+
+    python examples/suite_similarity.py
+"""
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.common.tables import Table
+from repro.core import PCA, Dendrogram, linkage
+from repro.core.clustering import cophenetic_distances
+from repro.core.features import display_label, feature_matrix
+
+# A deliberately diverse subset so the example runs in ~a minute.
+WORKLOADS = [
+    "bfs", "hotspot", "kmeans", "mummer", "srad",        # Rodinia
+    "blackscholes", "canneal", "ferret", "swaptions",    # Parsec
+]
+SCALE = SimScale.SMALL
+
+
+def main() -> None:
+    x, features = feature_matrix(WORKLOADS, subset="all", scale=SCALE)
+    print(f"Characterized {len(WORKLOADS)} workloads "
+          f"on {len(features)} features\n")
+
+    pca = PCA().fit(x)
+    k = pca.n_components_for_variance(0.90)
+    print(f"PCA: {k} components cover "
+          f"{pca.explained_variance_ratio_[:k].sum():.0%} of variance")
+    coords = pca.transform(x)[:, :k]
+
+    labels = [display_label(n) for n in WORKLOADS]
+    z = linkage(coords, method="average")
+    print("\n" + Dendrogram(z, labels).render(48))
+
+    # Redundancy report: cophenetically closest pairs.
+    coph = cophenetic_distances(z)
+    table = Table("\nMost similar (potentially redundant) pairs",
+                  ["Workload A", "Workload B", "Linkage distance"])
+    pairs = [
+        (labels[i], labels[j], coph[i, j])
+        for i in range(len(labels)) for j in range(i + 1, len(labels))
+    ]
+    for a, b, d in sorted(pairs, key=lambda t: t[2])[:5]:
+        table.add_row([a, b, d])
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Collect-once / analyze-forever: the trace-file workflow.
+
+Functional execution is the expensive step of a characterization; the
+timing model is milliseconds.  This example collects a few workloads'
+traces to disk, then prices them under a batch of hypothetical machines
+*without re-running any kernel* — the workflow for design-space studies
+that outlive one session.
+
+    python examples/trace_workflow.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.common.config import SimScale
+from repro.common.tables import Table
+from repro.gpusim import GPU, GPUConfig, TimingModel, load_trace, save_trace
+from repro.workloads import get
+
+WORKLOADS = ["bfs", "hotspot", "lud"]
+SCALE = SimScale.SMALL
+
+MACHINES = {
+    "baseline (28 SM)": GPUConfig.sim_default(),
+    "half machine": GPUConfig.sim_default().replace(n_sms=14, n_mem_channels=4),
+    "wide memory": GPUConfig.sim_default().replace(bus_width_bytes=32),
+    "narrow SIMD": GPUConfig.sim_default().replace(simd_width=8),
+    "Fermi-like": GPUConfig.gtx480_l1_bias(),
+}
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        # Phase 1: collect (slow, once).
+        t0 = time.time()
+        for name in WORKLOADS:
+            defn = get(name)
+            gpu = GPU(app_name=name)
+            result = defn.gpu_fn(gpu, SCALE)
+            defn.check_gpu(result, SCALE)
+            save_trace(gpu.trace, Path(tmp) / f"{name}.npz")
+        collect_s = time.time() - t0
+        print(f"collected {len(WORKLOADS)} traces in {collect_s:.1f}s\n")
+
+        # Phase 2: analyze (fast, as often as you like).
+        t0 = time.time()
+        table = Table(
+            "IPC under hypothetical machines (priced from saved traces)",
+            ["Machine"] + WORKLOADS,
+        )
+        for label, cfg in MACHINES.items():
+            row = [label]
+            for name in WORKLOADS:
+                trace = load_trace(Path(tmp) / f"{name}.npz")
+                row.append(TimingModel(cfg).time(trace).ipc)
+            table.add_row(row)
+        analyze_s = time.time() - t0
+        print(table.render())
+        print(f"\npriced {len(MACHINES) * len(WORKLOADS)} (machine, workload) "
+              f"pairs in {analyze_s:.1f}s — "
+              f"{collect_s / max(analyze_s, 1e-9):.0f}x cheaper than "
+              f"re-running the kernels")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Reproduction of Che et al., "A Characterization of the Rodinia Benchmark
+Suite with Comparison to Contemporary CMP Workloads" (IISWC 2010).
+
+The package is organized as:
+
+- :mod:`repro.gpusim` -- a SIMT GPU functional + timing simulator (the
+  GPGPU-Sim substitute) with a warp-masked kernel DSL.
+- :mod:`repro.cpusim` -- a Pin-like instrumentation substrate with cache,
+  reuse-distance, sharing, and footprint analyses.
+- :mod:`repro.workloads` -- from-scratch implementations of the 12 Rodinia
+  and 13 Parsec workloads against both substrates.
+- :mod:`repro.inputs` -- deterministic synthetic input generators.
+- :mod:`repro.core` -- the paper's methodology: feature extraction, PCA,
+  hierarchical clustering, Plackett-Burman sensitivity analysis.
+- :mod:`repro.experiments` -- one driver per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.common.config import SimScale
+
+__all__ = ["SimScale", "__version__"]

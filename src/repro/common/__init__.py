@@ -1,0 +1,7 @@
+"""Shared utilities: configuration scales, deterministic RNG, table rendering."""
+
+from repro.common.config import SimScale
+from repro.common.rng import make_rng
+from repro.common.tables import Table
+
+__all__ = ["SimScale", "make_rng", "Table"]

@@ -1,0 +1,26 @@
+"""Deterministic random number generation.
+
+Every synthetic input in the reproduction is generated from a
+:class:`numpy.random.Generator` seeded through :func:`make_rng`, so every
+experiment is bit-reproducible across runs and machines.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+_GLOBAL_SEED = 0x0D1A  # "Rodinia"
+
+
+def make_rng(*tags: object) -> np.random.Generator:
+    """Return a Generator whose seed is derived from the given tags.
+
+    Tags are typically ``(workload_name, purpose)`` pairs; hashing them
+    into the seed keeps streams independent between workloads while
+    remaining fully deterministic.
+    """
+    text = "/".join(str(t) for t in tags)
+    seed = (_GLOBAL_SEED << 32) ^ zlib.crc32(text.encode("utf-8"))
+    return np.random.default_rng(seed)

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness reproduces the paper's tables and figure data as
+printed rows/series; :class:`Table` provides consistent fixed-width
+formatting for that output without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+class Table:
+    """A titled, column-aligned text table.
+
+    >>> t = Table("Demo", ["name", "value"])
+    >>> t.add_row(["alpha", 1.5])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [_fmt(c) for c in row]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[str]:
+        """Return the raw cells of a named column."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,42 @@
+"""The paper's methodology: feature extraction, PCA, hierarchical
+clustering, and Plackett-Burman sensitivity analysis.
+
+This package is the reproduction's "primary contribution" layer — it
+implements Section IV's comparison pipeline (instrument workloads,
+assemble characteristic vectors, reduce with PCA, cluster, render
+dendrograms) and Section III-E's Plackett-Burman design-of-experiments
+study, all on numpy (validated against scipy in the test suite).
+"""
+
+from repro.core.clustering import Dendrogram, fcluster, linkage
+from repro.core.coverage import (
+    coverage_report,
+    greedy_representative_subset,
+    marginal_coverage,
+)
+from repro.core.features import (
+    cpu_metrics_for,
+    feature_matrix,
+    gpu_trace_for,
+    suite_workloads,
+)
+from repro.core.pca import PCA
+from repro.core.plackett_burman import pb_design, pb_effects
+from repro.core.report import build_report
+
+__all__ = [
+    "PCA",
+    "linkage",
+    "fcluster",
+    "Dendrogram",
+    "pb_design",
+    "pb_effects",
+    "cpu_metrics_for",
+    "gpu_trace_for",
+    "feature_matrix",
+    "suite_workloads",
+    "coverage_report",
+    "marginal_coverage",
+    "greedy_representative_subset",
+    "build_report",
+]

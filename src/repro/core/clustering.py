@@ -1,0 +1,182 @@
+"""Agglomerative hierarchical clustering and dendrograms.
+
+The paper clusters the PCA-projected workloads with classical
+hierarchical clustering (MATLAB's statistics toolbox) and reports
+dendrograms (Fig. 6).  This module implements the Lance-Williams family
+(single, complete, average, ward) over Euclidean distances, producing a
+scipy-compatible merge matrix, plus a text dendrogram renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+_LW = {
+    # method: (alpha_i, alpha_j, beta, gamma) as functions of sizes
+    "single": lambda ni, nj, nk: (0.5, 0.5, 0.0, -0.5),
+    "complete": lambda ni, nj, nk: (0.5, 0.5, 0.0, 0.5),
+    "average": lambda ni, nj, nk: (ni / (ni + nj), nj / (ni + nj), 0.0, 0.0),
+    "ward": lambda ni, nj, nk: (
+        (ni + nk) / (ni + nj + nk),
+        (nj + nk) / (ni + nj + nk),
+        -nk / (ni + nj + nk),
+        0.0,
+    ),
+}
+
+
+def pdist(x: np.ndarray) -> np.ndarray:
+    """Full Euclidean distance matrix."""
+    x = np.asarray(x, dtype=np.float64)
+    sq = (x * x).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (x @ x.T)
+    d = np.sqrt(np.clip(d2, 0.0, None))
+    np.fill_diagonal(d, 0.0)  # cancellation can leave ~1e-7 residue
+    return d
+
+
+def linkage(x: np.ndarray, method: str = "average") -> np.ndarray:
+    """Hierarchical clustering; returns a scipy-style (n-1, 4) matrix.
+
+    Row k merges clusters ``Z[k,0]`` and ``Z[k,1]`` (original points are
+    0..n-1, merged clusters n+k) at distance ``Z[k,2]`` with combined
+    size ``Z[k,3]``.
+    """
+    if method not in _LW:
+        raise ValueError(f"unknown linkage method {method!r}; options: {sorted(_LW)}")
+    update = _LW[method]
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[0]
+    if n < 2:
+        raise ValueError("need at least two observations")
+    dist = pdist(x)
+    if method == "ward":
+        # Ward operates on squared Euclidean distances internally.
+        dist = dist ** 2
+    np.fill_diagonal(dist, np.inf)
+    active = {i: (i, 1) for i in range(n)}  # slot -> (cluster id, size)
+    z = np.zeros((n - 1, 4))
+    next_id = n
+    for step in range(n - 1):
+        slots = sorted(active)
+        sub = dist[np.ix_(slots, slots)]
+        flat = np.argmin(sub)
+        a, b = divmod(flat, len(slots))
+        si, sj = slots[a], slots[b]
+        if si > sj:
+            si, sj = sj, si
+        d = dist[si, sj]
+        id_i, n_i = active[si]
+        id_j, n_j = active[sj]
+        merged_d = np.sqrt(d) if method == "ward" else d
+        lo, hi = sorted((id_i, id_j))
+        z[step] = (lo, hi, merged_d, n_i + n_j)
+        # Lance-Williams distance update into slot si.
+        for sk in slots:
+            if sk in (si, sj):
+                continue
+            _, n_k = active[sk]
+            ai, aj, beta, gamma = update(n_i, n_j, n_k)
+            new = (
+                ai * dist[si, sk]
+                + aj * dist[sj, sk]
+                + beta * d
+                + gamma * abs(dist[si, sk] - dist[sj, sk])
+            )
+            dist[si, sk] = dist[sk, si] = new
+        dist[sj, :] = np.inf
+        dist[:, sj] = np.inf
+        active[si] = (next_id, n_i + n_j)
+        del active[sj]
+        next_id += 1
+    return z
+
+
+def fcluster(z: np.ndarray, n_clusters: int) -> np.ndarray:
+    """Cut the tree into ``n_clusters`` flat clusters (labels 0..k-1)."""
+    n = z.shape[0] + 1
+    if not 1 <= n_clusters <= n:
+        raise ValueError("n_clusters out of range")
+    parent = list(range(2 * n - 1))
+
+    def find(i):
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    # Apply merges in order, stopping before the last (n_clusters - 1).
+    for step in range(n - n_clusters):
+        a, b = int(z[step, 0]), int(z[step, 1])
+        parent[find(a)] = n + step
+        parent[find(b)] = n + step
+    roots: Dict[int, int] = {}
+    labels = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        r = find(i)
+        labels[i] = roots.setdefault(r, len(roots))
+    return labels
+
+
+def cophenetic_distances(z: np.ndarray) -> np.ndarray:
+    """Pairwise merge heights (cophenetic distance matrix)."""
+    n = z.shape[0] + 1
+    members: Dict[int, List[int]] = {i: [i] for i in range(n)}
+    out = np.zeros((n, n))
+    for step in range(n - 1):
+        a, b = int(z[step, 0]), int(z[step, 1])
+        d = z[step, 2]
+        for i in members[a]:
+            for j in members[b]:
+                out[i, j] = out[j, i] = d
+        members[n + step] = members.pop(a) + members.pop(b)
+    return out
+
+
+class Dendrogram:
+    """Text rendering of a linkage tree with leaf labels (Fig. 6)."""
+
+    def __init__(self, z: np.ndarray, labels: Sequence[str]):
+        self.z = z
+        self.labels = list(labels)
+        n = z.shape[0] + 1
+        if len(self.labels) != n:
+            raise ValueError("label count does not match tree size")
+
+    def leaf_order(self) -> List[int]:
+        """Left-to-right leaf ordering of the tree."""
+        n = self.z.shape[0] + 1
+
+        def walk(node: int) -> List[int]:
+            if node < n:
+                return [node]
+            row = self.z[node - n]
+            return walk(int(row[0])) + walk(int(row[1]))
+
+        return walk(2 * n - 2)
+
+    def render(self, width: int = 60) -> str:
+        """ASCII dendrogram: one leaf per line, bars scale with height."""
+        n = self.z.shape[0] + 1
+        max_d = float(self.z[:, 2].max()) or 1.0
+        join_height: Dict[int, float] = {}
+        # Height at which each leaf is first merged (for display only).
+        members: Dict[int, List[int]] = {i: [i] for i in range(n)}
+        for step in range(n - 1):
+            a, b = int(self.z[step, 0]), int(self.z[step, 1])
+            d = float(self.z[step, 2])
+            for leaf in members[a] + members[b]:
+                join_height.setdefault(leaf, d)
+            members[n + step] = members.pop(a) + members.pop(b)
+        order = self.leaf_order()
+        label_w = max(len(self.labels[i]) for i in order)
+        lines = []
+        for leaf in order:
+            bar = int(round(join_height.get(leaf, max_d) / max_d * width))
+            lines.append(
+                f"{self.labels[leaf].rjust(label_w)} |{'#' * bar}"
+            )
+        scale = f"{' ' * label_w}  0{'-' * (width - 8)}{max_d:.3g}"
+        return "\n".join(lines + [scale])

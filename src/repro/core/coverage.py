@@ -1,0 +1,129 @@
+"""Application-space coverage and redundancy metrics.
+
+Section V-B asks: "How well is the application space covered by the two
+suites? ... a thorough examination requires a comprehensive evaluation
+and comparison of all the current multithreaded benchmark suites ... to
+establish a single set of workloads with sufficient coverage and little
+redundancy."  This module provides the quantitative tooling that study
+needs:
+
+- **coverage volume**: the product of per-axis spans in the standardized
+  PCA space (a bounding-box proxy for the region a suite reaches);
+- **redundancy**: per-workload nearest-neighbor distances — a pair of
+  benchmarks closer than ``redundancy_threshold`` measures duplicated
+  behaviour;
+- **marginal coverage**: how much a workload (or a whole suite) enlarges
+  the covered region beyond the other suite — the paper's "do the suites
+  complement each other" question, made numeric;
+- **greedy subset selection**: the smallest workload subset preserving a
+  target fraction of the joint coverage (the "single set with sufficient
+  coverage and little redundancy").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.clustering import pdist
+
+
+@dataclasses.dataclass
+class CoverageReport:
+    names: List[str]
+    volume: float
+    mean_nn_distance: float
+    min_nn_distance: float
+    redundant_pairs: List[Tuple[str, str, float]]
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "volume": self.volume,
+            "mean_nn_distance": self.mean_nn_distance,
+            "min_nn_distance": self.min_nn_distance,
+            "n_redundant_pairs": len(self.redundant_pairs),
+        }
+
+
+def bounding_volume(coords: np.ndarray) -> float:
+    """Product of per-axis spans (log-friendly coverage proxy)."""
+    if coords.shape[0] < 2:
+        return 0.0
+    spans = coords.max(axis=0) - coords.min(axis=0)
+    return float(np.prod(np.maximum(spans, 1e-12)))
+
+
+def nearest_neighbor_distances(coords: np.ndarray) -> np.ndarray:
+    d = pdist(coords)
+    np.fill_diagonal(d, np.inf)
+    return d.min(axis=1)
+
+
+def coverage_report(
+    coords: np.ndarray,
+    names: Sequence[str],
+    redundancy_threshold: float = 0.5,
+) -> CoverageReport:
+    """Coverage and redundancy summary of one suite in a shared space."""
+    coords = np.asarray(coords, dtype=np.float64)
+    nn = nearest_neighbor_distances(coords)
+    d = pdist(coords)
+    pairs = []
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            if d[i, j] < redundancy_threshold:
+                pairs.append((names[i], names[j], float(d[i, j])))
+    pairs.sort(key=lambda t: t[2])
+    return CoverageReport(
+        names=list(names),
+        volume=bounding_volume(coords),
+        mean_nn_distance=float(nn.mean()),
+        min_nn_distance=float(nn.min()),
+        redundant_pairs=pairs,
+    )
+
+
+def marginal_coverage(
+    base_coords: np.ndarray, added_coords: np.ndarray
+) -> float:
+    """Fractional volume growth from adding ``added`` to ``base``.
+
+    1.0 means the additions double the bounding volume; 0.0 means they
+    lie entirely inside the base suite's region.
+    """
+    base = bounding_volume(base_coords)
+    joint = bounding_volume(np.vstack([base_coords, added_coords]))
+    if base <= 0:
+        return float("inf") if joint > 0 else 0.0
+    return joint / base - 1.0
+
+
+def greedy_representative_subset(
+    coords: np.ndarray,
+    names: Sequence[str],
+    target_fraction: float = 0.9,
+) -> List[str]:
+    """Smallest greedy subset whose bounding volume reaches the target.
+
+    Classic farthest-point-first selection: start from the pair spanning
+    the largest distance, repeatedly add the workload farthest from the
+    current subset, stop when the subset's volume covers
+    ``target_fraction`` of the full suite's.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    n = coords.shape[0]
+    if n <= 2:
+        return list(names)
+    full = bounding_volume(coords)
+    d = pdist(coords)
+    i, j = np.unravel_index(np.argmax(d), d.shape)
+    chosen = [int(i), int(j)]
+    while len(chosen) < n:
+        if bounding_volume(coords[chosen]) >= target_fraction * full:
+            break
+        rest = [k for k in range(n) if k not in chosen]
+        dist_to_set = [min(d[k, c] for c in chosen) for k in rest]
+        chosen.append(rest[int(np.argmax(dist_to_set))])
+    return [names[k] for k in sorted(chosen)]

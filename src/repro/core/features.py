@@ -1,0 +1,130 @@
+"""Workload characterization drivers and feature-vector assembly.
+
+This is the glue between the substrates and the analysis: it runs
+workloads on the instrumented CPU machine (with the code-footprint
+tracer) or the GPU simulator, memoizes the expensive results per
+process, and assembles the characteristic matrices the paper feeds into
+PCA: instruction mix (Fig. 7), working sets (Fig. 8), sharing (Fig. 9),
+or all of them together (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.cpusim import CodeFootprintTracer, CPUMetrics, Machine, characterize_trace
+from repro.gpusim import GPU, GPUConfig, KernelTrace
+from repro.workloads import base as wl
+
+_cpu_cache: Dict[Tuple[str, SimScale], CPUMetrics] = {}
+_gpu_cache: Dict[Tuple[str, SimScale, int], KernelTrace] = {}
+
+#: Feature-subset names accepted by :func:`feature_matrix`.
+SUBSETS = ("mix", "workingset", "sharing", "all")
+
+
+def suite_workloads(dedupe_shared: bool = True) -> List[str]:
+    """Workload names for the suite comparison, Rodinia then Parsec.
+
+    StreamCluster belongs to both suites; with ``dedupe_shared`` the
+    Parsec twin is dropped and the shared entry is labeled once, as in
+    the paper's Figure 6 ("streamcluster(R, P)").
+    """
+    names = [w.meta.name for w in wl.all_rodinia()]
+    for w in wl.all_parsec():
+        if dedupe_shared and w.meta.name == "streamcluster_p":
+            continue
+        names.append(w.meta.name)
+    return names
+
+
+def display_label(name: str) -> str:
+    """Figure 6-style label: name(R), name(P), or the shared (R, P)."""
+    defn = wl.get(name)
+    if name == "streamcluster":
+        return "streamcluster(R, P)"
+    suffix = "R" if defn.meta.suite == "rodinia" else "P"
+    return f"{name}({suffix})"
+
+
+def cpu_metrics_for(
+    name: str, scale: SimScale = SimScale.SMALL, check: bool = True
+) -> CPUMetrics:
+    """Run a workload's CPU implementation and characterize its trace."""
+    key = (name, scale)
+    if key not in _cpu_cache:
+        defn = wl.get(name)
+        if defn.cpu_fn is None:
+            raise ValueError(f"{name} has no CPU implementation")
+        machine = Machine()
+        tracer = CodeFootprintTracer()
+        with tracer:
+            result = defn.cpu_fn(machine, scale)
+        if check and defn.check_cpu is not None:
+            defn.check_cpu(result, scale)
+        _cpu_cache[key] = characterize_trace(
+            machine, name, code_footprint_64b=tracer.footprint_blocks()
+        )
+    return _cpu_cache[key]
+
+
+def gpu_trace_for(
+    name: str,
+    scale: SimScale = SimScale.SMALL,
+    version: Optional[int] = None,
+    check: bool = True,
+) -> KernelTrace:
+    """Run a workload's GPU implementation; returns its kernel trace.
+
+    The trace is timing-independent, so every timing experiment (Figs.
+    1, 4, 5, and the PB study) reuses one functional execution.
+    """
+    key = (name, scale, version or 0)
+    if key not in _gpu_cache:
+        defn = wl.get(name)
+        fn = defn.gpu_fn
+        if version is not None:
+            if not defn.gpu_versions or version not in defn.gpu_versions:
+                raise ValueError(f"{name} has no GPU version {version}")
+            fn = defn.gpu_versions[version]
+        if fn is None:
+            raise ValueError(f"{name} has no GPU implementation")
+        gpu = GPU(app_name=name)
+        result = fn(gpu, scale)
+        if check and version is None and defn.check_gpu is not None:
+            defn.check_gpu(result, scale)
+        _gpu_cache[key] = gpu.trace
+    return _gpu_cache[key]
+
+
+def clear_caches() -> None:
+    _cpu_cache.clear()
+    _gpu_cache.clear()
+
+
+def feature_matrix(
+    names: Sequence[str],
+    subset: str = "all",
+    scale: SimScale = SimScale.SMALL,
+) -> Tuple[np.ndarray, List[str]]:
+    """Characteristic matrix (workloads x features) for a feature subset."""
+    if subset not in SUBSETS:
+        raise ValueError(f"subset must be one of {SUBSETS}")
+    rows = []
+    feature_names: List[str] = []
+    for name in names:
+        met = cpu_metrics_for(name, scale)
+        feats: Dict[str, float] = {}
+        if subset in ("mix", "all"):
+            feats.update(met.mix_features())
+        if subset in ("workingset", "all"):
+            feats.update(met.working_set_features())
+        if subset in ("sharing", "all"):
+            feats.update(met.sharing_features())
+        if not feature_names:
+            feature_names = list(feats)
+        rows.append([feats[f] for f in feature_names])
+    return np.array(rows), feature_names

@@ -1,0 +1,79 @@
+"""Principal component analysis.
+
+The paper standardizes each workload characteristic and projects onto
+the leading principal components before clustering (Section IV-C).
+Implemented via eigendecomposition of the correlation matrix; component
+signs follow the largest-|loading| convention so results are
+deterministic across platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class PCA:
+    """Standardizing PCA.
+
+    Parameters
+    ----------
+    n_components:
+        Number of components to keep; ``None`` keeps all.
+    """
+
+    def __init__(self, n_components: Optional[int] = None):
+        self.n_components = n_components
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None      # (k, d)
+        self.explained_variance_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "PCA":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("PCA expects a 2-D (samples, features) matrix")
+        n, d = x.shape
+        if n < 2:
+            raise ValueError("PCA needs at least two samples")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0, ddof=1)
+        self.scale_ = np.where(std > 1e-12, std, 1.0)   # constant features
+        z = (x - self.mean_) / self.scale_
+        cov = (z.T @ z) / (n - 1)
+        eigvals, eigvecs = np.linalg.eigh(cov)
+        order = np.argsort(eigvals)[::-1]
+        eigvals = np.clip(eigvals[order], 0.0, None)
+        eigvecs = eigvecs[:, order]
+        # Deterministic sign: the largest-|loading| entry is positive.
+        for j in range(eigvecs.shape[1]):
+            pivot = np.argmax(np.abs(eigvecs[:, j]))
+            if eigvecs[pivot, j] < 0:
+                eigvecs[:, j] = -eigvecs[:, j]
+        k = self.n_components or d
+        k = min(k, d)
+        self.components_ = eigvecs[:, :k].T
+        self.explained_variance_ = eigvals[:k]
+        total = eigvals.sum()
+        self.explained_variance_ratio_ = (
+            eigvals[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("fit() before transform()")
+        z = (np.asarray(x, dtype=np.float64) - self.mean_) / self.scale_
+        return z @ self.components_.T
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def n_components_for_variance(self, fraction: float) -> int:
+        """Smallest k whose cumulative explained variance >= fraction."""
+        if self.explained_variance_ratio_ is None:
+            raise RuntimeError("fit() first")
+        cum = np.cumsum(self.explained_variance_ratio_)
+        return int(np.searchsorted(cum, fraction) + 1)

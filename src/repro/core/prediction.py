@@ -1,0 +1,97 @@
+"""Similarity-based performance prediction (the paper's refs [15][16]).
+
+Hoste et al. predict a program's performance on a target machine from
+its *microarchitecture-independent* characteristics: find the most
+similar already-measured programs in a standardized feature space and
+interpolate their scores.  The paper cites this line of work and asks
+(Section VII) for metrics correlating program characteristics across
+architectures; this module closes the loop — predicting each Rodinia
+workload's **GPU IPC from its CPU-side characteristics alone**, with
+leave-one-out evaluation over the suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pca import PCA
+
+
+@dataclasses.dataclass
+class PredictionResult:
+    names: List[str]
+    actual: np.ndarray
+    predicted: np.ndarray
+
+    @property
+    def rank_correlation(self) -> float:
+        """Spearman rho between predicted and actual."""
+        ra = np.argsort(np.argsort(self.actual)).astype(np.float64)
+        rb = np.argsort(np.argsort(self.predicted)).astype(np.float64)
+        ra -= ra.mean()
+        rb -= rb.mean()
+        denom = np.sqrt((ra * ra).sum() * (rb * rb).sum())
+        return float((ra * rb).sum() / denom) if denom else 0.0
+
+    @property
+    def mean_abs_log_error(self) -> float:
+        """Mean |log2(pred / actual)| — 1.0 means off by 2x on average."""
+        a = np.maximum(self.actual, 1e-12)
+        p = np.maximum(self.predicted, 1e-12)
+        return float(np.abs(np.log2(p / a)).mean())
+
+    def errors_factor(self) -> np.ndarray:
+        """Per-workload prediction factor (pred / actual)."""
+        return self.predicted / np.maximum(self.actual, 1e-12)
+
+
+def knn_predict(
+    train_coords: np.ndarray,
+    train_targets: np.ndarray,
+    query: np.ndarray,
+    k: int = 3,
+    log_target: bool = True,
+) -> float:
+    """Inverse-distance-weighted k-NN regression for one query point."""
+    d = np.sqrt(((train_coords - query) ** 2).sum(axis=1))
+    order = np.argsort(d)[:k]
+    w = 1.0 / (d[order] + 1e-9)
+    w /= w.sum()
+    t = train_targets[order]
+    if log_target:
+        return float(np.exp((w * np.log(np.maximum(t, 1e-12))).sum()))
+    return float((w * t).sum())
+
+
+def leave_one_out(
+    features: np.ndarray,
+    targets: np.ndarray,
+    names: Sequence[str],
+    k: int = 3,
+    n_components: Optional[int] = None,
+    log_target: bool = True,
+) -> PredictionResult:
+    """Leave-one-out k-NN prediction over a suite.
+
+    Each workload is held out; PCA is fit on the remaining workloads
+    (no leakage), the held-out point is projected, and its target is
+    interpolated from its ``k`` nearest training neighbors.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    n = features.shape[0]
+    if n < k + 2:
+        raise ValueError("too few workloads for leave-one-out")
+    preds = np.empty(n)
+    for i in range(n):
+        mask = np.arange(n) != i
+        pca = PCA(n_components=n_components).fit(features[mask])
+        kdim = n_components or pca.n_components_for_variance(0.90)
+        train = pca.transform(features[mask])[:, :kdim]
+        query = pca.transform(features[i : i + 1])[0, :kdim]
+        preds[i] = knn_predict(train, targets[mask], query, k=k,
+                               log_target=log_target)
+    return PredictionResult(list(names), targets.copy(), preds)

@@ -1,0 +1,39 @@
+"""Pin-like CPU instrumentation substrate.
+
+Multithreaded (OpenMP-style) workloads run against a :class:`Machine`:
+each logical thread's instrumented loads/stores append exact address
+batches, which the machine interleaves round-robin in fixed quanta to
+approximate concurrent execution on the paper's 8-core shared-cache
+machine.  Analyses over the merged trace reproduce the paper's CPU-side
+metrics: instruction mix, working sets (miss rate over cache sizes),
+sharing behaviour, and instruction/data footprints.
+"""
+
+from repro.cpusim.cache import SharedCache, simulate_shared_cache
+from repro.cpusim.codefootprint import CodeFootprintTracer
+from repro.cpusim.coherence import CoherenceStats, simulate_coherent_caches
+from repro.cpusim.machine import HostArray, Machine, ThreadCtx
+from repro.cpusim.metrics import CPUMetrics, characterize_trace
+from repro.cpusim.reuse import miss_rate_curve, reuse_distance_histogram
+from repro.cpusim.sharing import SharingStats, analyze_sharing, sharing_at_size
+from repro.cpusim.workingset import detect_working_sets, fine_miss_curve
+
+__all__ = [
+    "Machine",
+    "ThreadCtx",
+    "HostArray",
+    "SharedCache",
+    "simulate_shared_cache",
+    "CoherenceStats",
+    "simulate_coherent_caches",
+    "miss_rate_curve",
+    "reuse_distance_histogram",
+    "SharingStats",
+    "analyze_sharing",
+    "sharing_at_size",
+    "detect_working_sets",
+    "fine_miss_curve",
+    "CPUMetrics",
+    "characterize_trace",
+    "CodeFootprintTracer",
+]

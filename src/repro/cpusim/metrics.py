@@ -1,0 +1,82 @@
+"""Assembled CPU-side characterization of one workload run.
+
+``characterize_trace`` bundles the paper's per-workload CPU metrics —
+instruction mix, the miss-rate curve over the paper's eight cache sizes,
+the exact 4 MB miss rate (Figure 10), sharing statistics, and data/code
+footprints — into one :class:`CPUMetrics` record, which feeds the
+feature vectors of :mod:`repro.core.features`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cpusim.cache import PAPER_CACHE_SIZES, simulate_shared_cache
+from repro.cpusim.machine import Machine
+from repro.cpusim.reuse import miss_rate_curve
+from repro.cpusim.sharing import SharingStats, analyze_sharing
+
+#: Figure 10's cache configuration.
+FIG10_CACHE_BYTES = 4 * 1024 * 1024
+
+
+@dataclasses.dataclass
+class CPUMetrics:
+    """Characterization record of one workload run."""
+
+    name: str
+    inst_mix: Dict[str, float]
+    total_insts: int
+    mem_refs: int
+    miss_curve: Dict[int, float]
+    miss_rate_4mb: float
+    sharing: SharingStats
+    data_footprint_4kb: int
+    code_footprint_64b: int
+
+    def working_set_features(self) -> Dict[str, float]:
+        return {f"miss@{size//1024}kB": rate for size, rate in self.miss_curve.items()}
+
+    def mix_features(self) -> Dict[str, float]:
+        return dict(self.inst_mix)
+
+    def sharing_features(self) -> Dict[str, float]:
+        return self.sharing.features()
+
+    def all_features(self) -> Dict[str, float]:
+        out = {}
+        out.update(self.mix_features())
+        out.update(self.working_set_features())
+        out.update(self.sharing_features())
+        return out
+
+
+def characterize_trace(
+    machine: Machine,
+    name: str = "",
+    code_footprint_64b: int = 0,
+    exact_4mb: bool = True,
+) -> CPUMetrics:
+    """Compute all CPU metrics from a machine's accumulated trace."""
+    addrs, tids, writes = machine.trace()
+    curve = miss_rate_curve(addrs, PAPER_CACHE_SIZES, machine.line_size)
+    if exact_4mb and addrs.size:
+        rate_4mb = simulate_shared_cache(
+            addrs, FIG10_CACHE_BYTES, assoc=4, line_bytes=machine.line_size
+        ).miss_rate
+    else:
+        rate_4mb = curve.get(FIG10_CACHE_BYTES, 0.0)
+    return CPUMetrics(
+        name=name,
+        inst_mix=machine.counts.mix(),
+        total_insts=machine.counts.total,
+        mem_refs=machine.counts.mem,
+        miss_curve=curve,
+        miss_rate_4mb=rate_4mb,
+        sharing=analyze_sharing(addrs, tids, writes, machine.line_size),
+        data_footprint_4kb=machine.data_footprint_pages(),
+        code_footprint_64b=code_footprint_64b,
+    )

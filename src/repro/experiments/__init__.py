@@ -1,0 +1,73 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every driver exposes ``run(scale) -> ExperimentResult`` where the result
+carries rendered tables (what the paper printed/plotted) plus the raw
+data series for tests and benchmarks.  ``REGISTRY`` maps experiment ids
+(e.g. ``fig1``, ``table3``, ``pb``) to drivers; the CLI is
+``python -m repro.experiments.runner <id>``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+from typing import Callable, Dict, List
+
+from repro.common.tables import Table
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Rendered tables plus raw data of one experiment."""
+
+    experiment: str
+    tables: List[Table]
+    data: dict
+
+    def render(self) -> str:
+        return "\n\n".join(t.render() for t in self.tables)
+
+
+_MODULES = {
+    "table1": "tables_static",
+    "table4": "tables_static",
+    "table5": "tables_static",
+    "fig1": "fig1_ipc",
+    "fig2": "fig2_memmix",
+    "fig3": "fig3_occupancy",
+    "fig4": "fig4_channels",
+    "table3": "table3_versions",
+    "fig5": "fig5_fermi",
+    "pb": "pb_sensitivity",
+    "fig6": "fig6_dendrogram",
+    "fig7": "fig789_pca",
+    "fig8": "fig789_pca",
+    "fig9": "fig789_pca",
+    "fig10": "fig10_missrates",
+    "fig11": "fig1112_footprints",
+    "fig12": "fig1112_footprints",
+    # Extensions: the paper's Section VII future-work items.
+    "ext_divergence": "extensions",
+    "ext_concurrent": "extensions",
+    "ext_coverage": "extensions",
+    "ext_crossarch": "extensions",
+    "ext_coherence": "extensions",
+    "ext_gpusharing": "extensions",
+    "ext_scheduler": "extensions",
+    "ext_workingsets": "extensions2",
+    "ext_sharing_size": "extensions2",
+    "ext_prediction": "extensions2",
+    "ext_parsec_ports": "extensions2",
+}
+
+ALL_EXPERIMENTS = tuple(_MODULES)
+
+
+def get_driver(experiment: str) -> Callable:
+    """The ``run(scale)`` callable for an experiment id."""
+    if experiment not in _MODULES:
+        raise KeyError(
+            f"unknown experiment {experiment!r}; known: {sorted(_MODULES)}"
+        )
+    mod = importlib.import_module(f"repro.experiments.{_MODULES[experiment]}")
+    return getattr(mod, f"run_{experiment}")

@@ -1,0 +1,27 @@
+"""Figure 10 — miss rates under a 4 MB shared cache.
+
+Misses per memory reference for every Rodinia and Parsec workload on
+the 8-core shared 4-way cache with 64 B lines (exact simulation).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SimScale
+from repro.common.tables import Table
+from repro.core.features import cpu_metrics_for, display_label, suite_workloads
+from repro.experiments import ExperimentResult
+
+
+def run_fig10(scale: SimScale = SimScale.SMALL) -> ExperimentResult:
+    names = suite_workloads()
+    table = Table(
+        "Figure 10: misses per memory reference, 4 MB shared cache",
+        ["Workload", "Miss rate", "Memory references"],
+    )
+    data = {}
+    ordered = sorted(names, key=lambda n: -cpu_metrics_for(n, scale).miss_rate_4mb)
+    for name in ordered:
+        met = cpu_metrics_for(name, scale)
+        table.add_row([display_label(name), met.miss_rate_4mb, met.mem_refs])
+        data[name] = met.miss_rate_4mb
+    return ExperimentResult("fig10", [table], data)

@@ -1,0 +1,42 @@
+"""Figures 11 and 12 — instruction and data footprints.
+
+Figure 11: distinct 64-byte instruction blocks executed (here: executed
+Python bytecode, the substitution documented in DESIGN.md).  Figure 12:
+distinct 4 kB data pages touched.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SimScale
+from repro.common.tables import Table
+from repro.core.features import cpu_metrics_for, display_label, suite_workloads
+from repro.experiments import ExperimentResult
+
+
+def run_fig11(scale: SimScale = SimScale.SMALL) -> ExperimentResult:
+    names = suite_workloads()
+    table = Table(
+        "Figure 11: instruction footprint (64 B bytecode blocks executed)",
+        ["Workload", "Instruction blocks"],
+    )
+    data = {}
+    for name in sorted(names, key=lambda n: -cpu_metrics_for(n, scale).code_footprint_64b):
+        met = cpu_metrics_for(name, scale)
+        table.add_row([display_label(name), met.code_footprint_64b])
+        data[name] = met.code_footprint_64b
+    return ExperimentResult("fig11", [table], data)
+
+
+def run_fig12(scale: SimScale = SimScale.SMALL) -> ExperimentResult:
+    names = suite_workloads()
+    table = Table(
+        "Figure 12: data footprint (4 kB pages touched)",
+        ["Workload", "Data pages", "~bytes"],
+    )
+    data = {}
+    for name in sorted(names, key=lambda n: -cpu_metrics_for(n, scale).data_footprint_4kb):
+        met = cpu_metrics_for(name, scale)
+        table.add_row([display_label(name), met.data_footprint_4kb,
+                       met.data_footprint_4kb * 4096])
+        data[name] = met.data_footprint_4kb
+    return ExperimentResult("fig12", [table], data)

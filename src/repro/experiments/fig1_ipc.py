@@ -1,0 +1,27 @@
+"""Figure 1 — IPC of every Rodinia workload at 8 and 28 shaders."""
+
+from __future__ import annotations
+
+from repro.common.config import SimScale
+from repro.common.tables import Table
+from repro.experiments import ExperimentResult
+from repro.experiments.gpu_common import gpu_workload_names, short_name, time_all, traces
+from repro.gpusim import GPUConfig
+
+
+def run_fig1(scale: SimScale = SimScale.SMALL) -> ExperimentResult:
+    trace_map = traces(scale)
+    t28 = time_all(trace_map, GPUConfig.sim_default())
+    t8 = time_all(trace_map, GPUConfig.sim_8sm())
+    table = Table(
+        "Figure 1: IPC at 8 and 28 shaders",
+        ["Workload", "IPC (8 SM)", "IPC (28 SM)", "Scaling", "Bound (28 SM)"],
+    )
+    data = {}
+    for name in gpu_workload_names():
+        ipc8, ipc28 = t8[name].ipc, t28[name].ipc
+        bound = max(t28[name].bound_mix(), key=t28[name].bound_mix().get)
+        table.add_row([short_name(name), ipc8, ipc28,
+                       ipc28 / ipc8 if ipc8 else 0.0, bound])
+        data[name] = {"ipc8": ipc8, "ipc28": ipc28, "bound": bound}
+    return ExperimentResult("fig1", [table], data)

@@ -1,0 +1,24 @@
+"""Figure 2 — memory-instruction breakdown by space per workload."""
+
+from __future__ import annotations
+
+from repro.common.config import SimScale
+from repro.common.tables import Table
+from repro.experiments import ExperimentResult
+from repro.experiments.gpu_common import gpu_workload_names, short_name, traces
+
+_SPACES = ("shared", "tex", "const", "param", "global")
+
+
+def run_fig2(scale: SimScale = SimScale.SMALL) -> ExperimentResult:
+    trace_map = traces(scale)
+    table = Table(
+        "Figure 2: memory operation breakdown (fraction of memory instructions)",
+        ["Workload"] + [s.capitalize() for s in _SPACES],
+    )
+    data = {}
+    for name in gpu_workload_names():
+        mix = trace_map[name].mem_mix()
+        table.add_row([short_name(name)] + [mix[s] for s in _SPACES])
+        data[name] = mix
+    return ExperimentResult("fig2", [table], data)

@@ -1,0 +1,28 @@
+"""Figure 3 — warp occupancy (active threads per issued warp)."""
+
+from __future__ import annotations
+
+from repro.common.config import SimScale
+from repro.common.tables import Table
+from repro.experiments import ExperimentResult
+from repro.experiments.gpu_common import gpu_workload_names, short_name, traces
+
+_BUCKETS = ("1-8", "9-16", "17-24", "25-32")
+
+
+def run_fig3(scale: SimScale = SimScale.SMALL) -> ExperimentResult:
+    trace_map = traces(scale)
+    table = Table(
+        "Figure 3: warp occupancy distribution (fraction of issued warps)",
+        ["Workload"] + list(_BUCKETS) + ["Mean active"],
+    )
+    data = {}
+    for name in gpu_workload_names():
+        tr = trace_map[name]
+        buckets = tr.occupancy_buckets()
+        table.add_row(
+            [short_name(name)] + [buckets[b] for b in _BUCKETS]
+            + [tr.mean_warp_occupancy]
+        )
+        data[name] = {**buckets, "mean": tr.mean_warp_occupancy}
+    return ExperimentResult("fig3", [table], data)

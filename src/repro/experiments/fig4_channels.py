@@ -1,0 +1,34 @@
+"""Figure 4 — performance vs. number of memory channels.
+
+The paper plots per-workload improvement with 4, 6, and 8 channels,
+normalized to the 4-channel configuration.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SimScale
+from repro.common.tables import Table
+from repro.experiments import ExperimentResult
+from repro.experiments.gpu_common import gpu_workload_names, short_name, time_all, traces
+from repro.gpusim import GPUConfig
+
+CHANNELS = (4, 6, 8)
+
+
+def run_fig4(scale: SimScale = SimScale.SMALL) -> ExperimentResult:
+    trace_map = traces(scale)
+    results = {
+        ch: time_all(trace_map, GPUConfig.sim_default().replace(n_mem_channels=ch))
+        for ch in CHANNELS
+    }
+    table = Table(
+        "Figure 4: speedup over the 4-channel configuration",
+        ["Workload", "4 channels", "6 channels", "8 channels"],
+    )
+    data = {}
+    for name in gpu_workload_names():
+        base = results[4][name].cycles
+        speedups = {ch: base / results[ch][name].cycles for ch in CHANNELS}
+        table.add_row([short_name(name)] + [speedups[ch] for ch in CHANNELS])
+        data[name] = speedups
+    return ExperimentResult("fig4", [table], data)

@@ -1,0 +1,37 @@
+"""Figure 5 — Fermi (GTX480) kernel time vs. GTX280.
+
+Kernel execution times on the cached Fermi configurations (shared bias:
+48 kB shared + 16 kB L1; L1 bias: 16 kB shared + 48 kB L1), normalized
+to the GTX280 (no general-purpose caches).  Lower is better; the paper's
+headline observations are that global-heavy workloads (MUMmer, BFS)
+improve under L1 bias while shared-memory-tuned workloads (SRAD, NW,
+Leukocyte) prefer shared bias.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SimScale
+from repro.common.tables import Table
+from repro.experiments import ExperimentResult
+from repro.experiments.gpu_common import gpu_workload_names, short_name, time_all, traces
+from repro.gpusim import GPUConfig
+
+
+def run_fig5(scale: SimScale = SimScale.SMALL) -> ExperimentResult:
+    trace_map = traces(scale)
+    t280 = time_all(trace_map, GPUConfig.gtx280())
+    t_shared = time_all(trace_map, GPUConfig.gtx480_shared_bias())
+    t_l1 = time_all(trace_map, GPUConfig.gtx480_l1_bias())
+    table = Table(
+        "Figure 5: normalized kernel time (GTX280 = 1.0; lower is better)",
+        ["Workload", "GTX480 shared-bias", "GTX480 L1-bias",
+         "L1-bias speedup over shared-bias"],
+    )
+    data = {}
+    for name in gpu_workload_names():
+        base = t280[name].time_s
+        ns = t_shared[name].time_s / base
+        nl = t_l1[name].time_s / base
+        table.add_row([short_name(name), ns, nl, ns / nl])
+        data[name] = {"shared_bias": ns, "l1_bias": nl, "l1_speedup": ns / nl}
+    return ExperimentResult("fig5", [table], data)

@@ -1,0 +1,49 @@
+"""Figure 6 — hierarchical clustering dendrogram of both suites.
+
+All CPU characteristics (instruction mix + working sets + sharing) are
+standardized, projected onto the principal components covering 90% of
+variance, and clustered with average linkage — the methodology of
+Section IV-C.  StreamCluster appears once, labeled "(R, P)".
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SimScale
+from repro.common.tables import Table
+from repro.core import PCA, Dendrogram, fcluster, linkage
+from repro.core.features import display_label, feature_matrix, suite_workloads
+from repro.experiments import ExperimentResult
+
+
+def run_fig6(scale: SimScale = SimScale.SMALL) -> ExperimentResult:
+    names = suite_workloads()
+    x, feature_names = feature_matrix(names, subset="all", scale=scale)
+    pca = PCA().fit(x)
+    k = pca.n_components_for_variance(0.90)
+    coords = pca.transform(x)[:, :k]
+    z = linkage(coords, method="average")
+    labels = [display_label(n) for n in names]
+    dendro = Dendrogram(z, labels)
+    clusters = fcluster(z, n_clusters=8)
+
+    table = Table(
+        "Figure 6: flat clusters (8-way cut of the average-linkage tree)",
+        ["Cluster", "Members"],
+    )
+    by_cluster = {}
+    for name, label, c in zip(names, labels, clusters):
+        by_cluster.setdefault(int(c), []).append(label)
+    for c in sorted(by_cluster):
+        table.add_row([c, ", ".join(sorted(by_cluster[c]))])
+
+    data = {
+        "names": names,
+        "linkage": z,
+        "clusters": {n: int(c) for n, c in zip(names, clusters)},
+        "n_components": k,
+        "explained": pca.explained_variance_ratio_[:k].sum(),
+        "dendrogram": dendro.render(),
+        "n_features": len(feature_names),
+    }
+    result = ExperimentResult("fig6", [table], data)
+    return result

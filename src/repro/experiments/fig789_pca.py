@@ -1,0 +1,57 @@
+"""Figures 7, 8, 9 — PCA scatter plots of feature subsets.
+
+Each figure projects one family of characteristics onto its first two
+principal components: instruction mix (Fig. 7), working sets (Fig. 8),
+sharing behaviour (Fig. 9).  The tables list each workload's (PC1, PC2)
+coordinates — the data behind the paper's scatter plots — plus the
+outliers by distance from the centroid, which the paper annotates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.common.tables import Table
+from repro.core import PCA
+from repro.core.features import display_label, feature_matrix, suite_workloads
+from repro.experiments import ExperimentResult
+
+_FIGS = {
+    "fig7": ("mix", "Figure 7: instruction-mix PCA"),
+    "fig8": ("workingset", "Figure 8: working-set PCA"),
+    "fig9": ("sharing", "Figure 9: sharing PCA"),
+}
+
+
+def _run(figure: str, scale: SimScale) -> ExperimentResult:
+    subset, title = _FIGS[figure]
+    names = suite_workloads()
+    x, feature_names = feature_matrix(names, subset=subset, scale=scale)
+    pca = PCA(n_components=2).fit(x)
+    coords = pca.transform(x)
+    dist = np.sqrt((coords ** 2).sum(axis=1))
+    order = np.argsort(-dist)
+
+    table = Table(title, ["Workload", "Suite", "PC1", "PC2", "Outlier rank"])
+    rank = {int(i): r + 1 for r, i in enumerate(order)}
+    data = {"names": names, "coords": coords,
+            "explained": pca.explained_variance_ratio_.tolist(),
+            "features": feature_names, "outliers": []}
+    for i, name in enumerate(names):
+        suite = "R" if "(R" in display_label(name) else "P"
+        table.add_row([name, suite, coords[i, 0], coords[i, 1], rank[i]])
+    data["outliers"] = [names[i] for i in order[:5]]
+    return ExperimentResult(figure, [table], data)
+
+
+def run_fig7(scale: SimScale = SimScale.SMALL) -> ExperimentResult:
+    return _run("fig7", scale)
+
+
+def run_fig8(scale: SimScale = SimScale.SMALL) -> ExperimentResult:
+    return _run("fig8", scale)
+
+
+def run_fig9(scale: SimScale = SimScale.SMALL) -> ExperimentResult:
+    return _run("fig9", scale)

@@ -1,0 +1,40 @@
+"""Shared helpers for the GPU-side experiments (Figs. 1-5, Table III, PB).
+
+All GPU experiments consume the same per-workload functional traces
+(memoized in :mod:`repro.core.features`) and only re-run the timing
+model, so a full GPU characterization costs one functional execution per
+workload regardless of how many configurations are priced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.config import SimScale
+from repro.core.features import gpu_trace_for
+from repro.gpusim import GPUConfig, KernelTrace, TimingModel, TimingResult
+from repro.workloads import base as wl
+
+#: Paper's bar-chart ordering (Figs. 1-5).
+GPU_ORDER = ["backprop", "bfs", "cfd", "heartwall", "hotspot", "kmeans",
+             "leukocyte", "lud", "mummer", "nw", "srad", "streamcluster"]
+
+
+def gpu_workload_names() -> List[str]:
+    wl.load_all()
+    return list(GPU_ORDER)
+
+
+def traces(scale: SimScale) -> Dict[str, KernelTrace]:
+    return {name: gpu_trace_for(name, scale) for name in gpu_workload_names()}
+
+
+def time_all(
+    trace_map: Dict[str, KernelTrace], config: GPUConfig
+) -> Dict[str, TimingResult]:
+    model = TimingModel(config)
+    return {name: model.time(tr) for name, tr in trace_map.items()}
+
+
+def short_name(name: str) -> str:
+    return wl.get(name).meta.short or name.upper()

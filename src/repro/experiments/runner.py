@@ -1,0 +1,52 @@
+"""Experiment CLI: ``python -m repro.experiments.runner fig1 [--scale small]``.
+
+``all`` runs the complete evaluation in paper order and prints every
+table; the per-process memoization in :mod:`repro.core.features` means
+the workload executions are shared across experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.common.config import SimScale
+from repro.experiments import ALL_EXPERIMENTS, get_driver
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figure data."
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        help=f"experiment ids ({', '.join(ALL_EXPERIMENTS)}), "
+             "'report' (full Markdown characterization), or 'all'",
+    )
+    parser.add_argument(
+        "--scale", default="small", choices=[s.value for s in SimScale],
+        help="problem-size operating point (default: small)",
+    )
+    args = parser.parse_args(argv)
+    scale = SimScale(args.scale)
+    ids = list(ALL_EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    for exp_id in ids:
+        t0 = time.time()
+        if exp_id == "report":
+            from repro.core.report import build_report
+
+            print(build_report(scale))
+        else:
+            driver = get_driver(exp_id)
+            result = driver(scale)
+            print(result.render())
+            if exp_id == "fig6":
+                print()
+                print(result.data["dendrogram"])
+        print(f"\n[{exp_id} completed in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""GPU configurations.
+
+Presets mirror the paper's three machines:
+
+- ``sim_default`` / ``sim_8sm``: the GPGPU-Sim configurations of Table II
+  (28 or 8 SMs, SIMD width 32, 32 kB shared memory, 8 memory channels).
+- ``gtx280``: 30 SMs of 8 SPs at 1.3 GHz, no general-purpose caches.
+- ``gtx480_shared_bias`` / ``gtx480_l1_bias``: Fermi — 15 SMs at 1.4 GHz
+  with the 64 kB on-chip memory split 48/16 or 16/48 between shared
+  memory and L1, plus a 768 kB unified L2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUConfig:
+    """Architectural parameters consumed by the timing model."""
+
+    name: str = "sim-default"
+    core_clock_ghz: float = 2.0
+    n_sms: int = 28
+    warp_size: int = 32
+    simd_width: int = 32
+    max_threads_per_sm: int = 1024
+    max_ctas_per_sm: int = 8
+    regs_per_sm: int = 16384
+    shared_mem_per_sm: int = 32 * 1024
+    model_bank_conflicts: bool = True
+    n_mem_channels: int = 8
+    mem_clock_ghz: float = 1.2
+    bus_width_bytes: int = 16
+    mem_latency_cycles: int = 400
+    l1_size: int = 0            # 0 disables the L1 (pre-Fermi)
+    l1_assoc: int = 4
+    l1_latency_cycles: int = 40
+    l2_size: int = 0            # 0 disables the L2
+    l2_assoc: int = 8
+    l2_latency_cycles: int = 150
+    launch_overhead_cycles: int = 400
+    # Hardware thread-block scheduler (paper future work: "the impact of
+    # hardware thread scheduling mechanisms").  "round_robin" deals CTAs
+    # across SMs; "chunked" gives each SM a contiguous CTA range, which
+    # keeps spatially-adjacent blocks' data in the same L1.
+    cta_scheduler: str = "round_robin"
+
+    def replace(self, **kwargs) -> "GPUConfig":
+        return dataclasses.replace(self, **kwargs)
+
+    @property
+    def peak_bandwidth_gbs(self) -> float:
+        """Aggregate DRAM bandwidth in GB/s (DDR: two transfers/cycle)."""
+        return self.n_mem_channels * self.bus_width_bytes * 2 * self.mem_clock_ghz
+
+    @property
+    def has_l1(self) -> bool:
+        return self.l1_size > 0
+
+    @property
+    def has_l2(self) -> bool:
+        return self.l2_size > 0
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @staticmethod
+    def sim_default() -> "GPUConfig":
+        """The 28-shader GPGPU-Sim configuration of Table II."""
+        return GPUConfig()
+
+    @staticmethod
+    def sim_8sm() -> "GPUConfig":
+        """The 8-shader variant used in Figure 1."""
+        return GPUConfig(name="sim-8sm", n_sms=8)
+
+    @staticmethod
+    def gtx280() -> "GPUConfig":
+        return GPUConfig(
+            name="gtx280",
+            core_clock_ghz=1.3,
+            n_sms=30,
+            simd_width=8,
+            max_threads_per_sm=1024,
+            max_ctas_per_sm=8,
+            regs_per_sm=16384,
+            shared_mem_per_sm=16 * 1024,
+            n_mem_channels=8,
+            mem_clock_ghz=1.1,
+            bus_width_bytes=16,
+        )
+
+    @staticmethod
+    def gtx480_shared_bias() -> "GPUConfig":
+        """Fermi with 48 kB shared + 16 kB L1 (the default split)."""
+        return GPUConfig(
+            name="gtx480-shared-bias",
+            core_clock_ghz=1.4,
+            n_sms=15,
+            simd_width=32,
+            max_threads_per_sm=1536,
+            max_ctas_per_sm=8,
+            regs_per_sm=32768,
+            shared_mem_per_sm=48 * 1024,
+            n_mem_channels=6,
+            mem_clock_ghz=1.85,
+            bus_width_bytes=16,
+            l1_size=16 * 1024,
+            l2_size=768 * 1024,
+        )
+
+    @staticmethod
+    def gtx480_l1_bias() -> "GPUConfig":
+        """Fermi with 16 kB shared + 48 kB L1."""
+        return GPUConfig.gtx480_shared_bias().replace(
+            name="gtx480-l1-bias",
+            shared_mem_per_sm=16 * 1024,
+            l1_size=48 * 1024,
+        )
+
+    @staticmethod
+    def presets() -> Dict[str, "GPUConfig"]:
+        return {
+            c.name: c
+            for c in (
+                GPUConfig.sim_default(),
+                GPUConfig.sim_8sm(),
+                GPUConfig.gtx280(),
+                GPUConfig.gtx480_shared_bias(),
+                GPUConfig.gtx480_l1_bias(),
+            )
+        }

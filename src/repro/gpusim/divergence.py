@@ -1,0 +1,130 @@
+"""Branch-divergence characterization (paper future work, Section VII).
+
+The paper lists "more detailed characterizations on the Rodinia GPU
+implementations, such as branch divergence sensitivity" as future work.
+This module derives divergence metrics from a kernel trace's occupancy
+histogram and branch counts, and prices the *counterfactual* run in
+which reconvergence is perfect (every instruction issues with full
+warps) — an upper bound on what divergence-mitigation hardware (dynamic
+warp formation, thread-block compaction) could recover.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+from repro.gpusim.config import GPUConfig
+from repro.gpusim.isa import Category
+from repro.gpusim.timing import TimingModel, TimingResult
+from repro.gpusim.trace import KernelTrace, LaunchTrace
+
+
+@dataclasses.dataclass
+class DivergenceStats:
+    """Divergence profile of one application run.
+
+    ``memory_divergence`` is the companion metric for the memory system:
+    off-chip transactions per global/local memory warp instruction.  A
+    fully coalesced float32 access costs 2 transactions per warp; a
+    fully scattered one costs up to 32.
+    """
+
+    simd_efficiency: float        # thread insts / (warp insts * warp size)
+    branch_fraction: float        # branch warp insts / all warp insts
+    mean_active: float            # mean active lanes per issued warp
+    frac_warps_underfilled: float  # issued warps with < warp_size lanes
+    divergence_speedup_bound: float  # perfect-reconvergence speedup
+    memory_divergence: float = 0.0   # transactions per off-chip warp inst
+
+    def as_dict(self) -> Dict[str, float]:
+        return dataclasses.asdict(self)
+
+
+def _counterfactual_trace(trace: KernelTrace) -> KernelTrace:
+    """A copy of the trace with every warp instruction fully packed.
+
+    Thread instructions are preserved; issued warp instructions shrink to
+    ``ceil(thread_insts / warp_size)`` per launch, modeling perfect lane
+    compaction.  Memory transactions are left untouched (compaction does
+    not reduce the data the kernel must move).
+    """
+    packed = KernelTrace(trace.app_name + "+packed")
+    for lt in trace.launches:
+        nlt = packed.new_launch(lt.kernel_name, lt.grid, lt.block,
+                                lt.regs_per_thread)
+        nlt.shared_bytes_per_block = lt.shared_bytes_per_block
+        nlt.shared_replays = lt.shared_replays
+        nlt.const_serializations = lt.const_serializations
+        nlt.tex_accesses = lt.tex_accesses
+        nlt.tex_hits = lt.tex_hits
+        nlt.const_accesses = lt.const_accesses
+        nlt.const_hits = lt.const_hits
+        nlt.mem_warp_insts = dict(lt.mem_warp_insts)
+        scale = (
+            lt.thread_insts / (lt.issued_warp_insts * 32)
+            if lt.issued_warp_insts else 1.0
+        )
+        for cat, count in lt.category_warp_insts.items():
+            packed_count = int(np.ceil(count * scale))
+            nlt.category_warp_insts[cat] = packed_count
+        nlt.issued_warp_insts = sum(nlt.category_warp_insts.values())
+        nlt.thread_insts = lt.thread_insts
+        full = nlt.issued_warp_insts
+        nlt.occupancy_hist = np.zeros(32, dtype=np.int64)
+        nlt.occupancy_hist[31] = full
+        addrs, blocks, stores = lt.transactions()
+        if addrs.size:
+            nlt.record_transactions(addrs, 0, False)
+            nlt._tx_final = (addrs, blocks, stores)  # keep block tags
+    return packed
+
+
+def analyze_divergence(
+    trace: KernelTrace, config: GPUConfig | None = None
+) -> DivergenceStats:
+    """Divergence metrics plus the perfect-reconvergence speedup bound."""
+    config = config or GPUConfig.sim_default()
+    hist = trace.occupancy_hist
+    issued = int(hist.sum())
+    if issued == 0:
+        return DivergenceStats(1.0, 0.0, 0.0, 0.0, 1.0)
+    mean_active = float((hist * np.arange(1, 33)).sum() / issued)
+    simd_eff = trace.thread_insts / (trace.issued_warp_insts * 32)
+    cat = trace.category_mix()
+    underfilled = float(hist[:31].sum() / issued)
+
+    model = TimingModel(config)
+    actual = model.time(trace)
+    packed = model.time(_counterfactual_trace(trace))
+    bound = actual.cycles / packed.cycles if packed.cycles else 1.0
+
+    from repro.gpusim.isa import Space
+    offchip_insts = sum(
+        lt.mem_warp_insts[Space.GLOBAL] + lt.mem_warp_insts[Space.LOCAL]
+        for lt in trace.launches
+    )
+    mem_div = trace.n_transactions / offchip_insts if offchip_insts else 0.0
+    return DivergenceStats(
+        simd_efficiency=float(simd_eff),
+        branch_fraction=float(cat.get("branch", 0.0)),
+        mean_active=mean_active,
+        frac_warps_underfilled=underfilled,
+        divergence_speedup_bound=float(bound),
+        memory_divergence=float(mem_div),
+    )
+
+
+def simd_width_sensitivity(
+    trace: KernelTrace, widths=(8, 16, 32)
+) -> Dict[int, TimingResult]:
+    """Time the trace across SIMD widths (divergence interacts with
+    pipeline width: narrow machines waste fewer slots on sparse warps in
+    relative terms, but issue everything more slowly)."""
+    out = {}
+    for w in widths:
+        cfg = GPUConfig.sim_default().replace(simd_width=w)
+        out[w] = TimingModel(cfg).time(trace)
+    return out

@@ -1,0 +1,45 @@
+"""Instruction categories and memory spaces of the simulated machine.
+
+The taxonomy mirrors what GPGPU-Sim reports and what the paper plots:
+Figure 2 breaks memory instructions down into shared, texture, constant,
+parameter, and global/local accesses.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Space(enum.Enum):
+    """GPU memory spaces distinguished by the characterization."""
+
+    GLOBAL = "global"
+    LOCAL = "local"
+    SHARED = "shared"
+    CONST = "const"
+    TEX = "tex"
+    PARAM = "param"
+
+    @property
+    def is_offchip(self) -> bool:
+        """Whether a miss in this space generates DRAM traffic."""
+        return self in (Space.GLOBAL, Space.LOCAL, Space.TEX)
+
+
+class Category(enum.Enum):
+    """Dynamic instruction categories charged by the DSL."""
+
+    ALU = "alu"
+    BRANCH = "branch"
+    MEM = "mem"
+    SYNC = "sync"
+
+
+#: Byte granularity of a coalesced DRAM transaction segment.
+TRANSACTION_BYTES = 64
+
+#: Number of shared-memory banks (one word wide each).
+SHARED_BANKS = 32
+
+#: Shared-memory bank word size in bytes.
+BANK_WORD_BYTES = 4

@@ -1,0 +1,95 @@
+"""Inter-thread-block data sharing on the GPU (paper future work).
+
+Section VII lists "data sharing among threads" as a planned deeper
+characterization of the Rodinia GPU implementations.  Intra-block
+sharing is visible in the shared-memory instruction mix (Fig. 2); this
+module measures the *inter-block* component from the traced global
+transaction streams: which DRAM lines are touched by more than one
+thread block, and what fraction of traffic they carry.
+
+High inter-block sharing means a workload would benefit from a shared
+last-level cache (it is why MUMmer and BFS gain under Fermi's L2 in
+Fig. 5) and, conversely, suffers under private per-SM caches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+from repro.gpusim.trace import KernelTrace
+
+
+@dataclasses.dataclass
+class GPUSharingStats:
+    """Inter-block sharing profile of one application run."""
+
+    total_lines: int
+    shared_lines: int            # touched by >1 block
+    total_transactions: int
+    shared_transactions: int     # to lines touched by >1 block
+    mean_blocks_per_line: float
+    max_blocks_per_line: int
+
+    @property
+    def frac_lines_shared(self) -> float:
+        return self.shared_lines / self.total_lines if self.total_lines else 0.0
+
+    @property
+    def shared_traffic_ratio(self) -> float:
+        if not self.total_transactions:
+            return 0.0
+        return self.shared_transactions / self.total_transactions
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "frac_lines_shared": self.frac_lines_shared,
+            "shared_traffic_ratio": self.shared_traffic_ratio,
+            "mean_blocks_per_line": self.mean_blocks_per_line,
+            "max_blocks_per_line": float(self.max_blocks_per_line),
+        }
+
+
+def analyze_gpu_sharing(
+    trace: KernelTrace, line_bytes: int = 64
+) -> GPUSharingStats:
+    """Inter-block sharing over all launches' off-chip transactions.
+
+    Sharing is assessed per launch (blocks of different launches reusing
+    a buffer is a pipeline's normal dataflow, not concurrent sharing)
+    and aggregated.
+    """
+    total_lines = shared_lines = 0
+    total_tx = shared_tx = 0
+    blocks_per_line_sum = 0
+    max_blocks = 0
+    for lt in trace.launches:
+        addrs, blocks, _ = lt.transactions()
+        if addrs.size == 0:
+            continue
+        lines = addrs // line_bytes
+        n_blocks = max(1, lt.n_blocks)
+        pair = lines * n_blocks + blocks
+        uniq_pairs = np.unique(pair)
+        pair_lines = uniq_pairs // n_blocks
+        uniq_lines, counts = np.unique(pair_lines, return_counts=True)
+        shared_set = uniq_lines[counts > 1]
+        total_lines += int(uniq_lines.size)
+        shared_lines += int(shared_set.size)
+        total_tx += int(addrs.size)
+        shared_tx += int(np.isin(lines, shared_set).sum())
+        blocks_per_line_sum += int(counts.sum())
+        if counts.size:
+            max_blocks = max(max_blocks, int(counts.max()))
+    return GPUSharingStats(
+        total_lines=total_lines,
+        shared_lines=shared_lines,
+        total_transactions=total_tx,
+        shared_transactions=shared_tx,
+        mean_blocks_per_line=(
+            blocks_per_line_sum / total_lines if total_lines else 0.0
+        ),
+        max_blocks_per_line=max_blocks,
+    )

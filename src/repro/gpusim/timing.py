@@ -1,0 +1,329 @@
+"""Analytic bottleneck timing model.
+
+Prices a :class:`~repro.gpusim.trace.KernelTrace` under a
+:class:`~repro.gpusim.config.GPUConfig`.  Per launch, the cycle count is
+
+    overhead + max(issue-bound, bandwidth-bound, latency-bound)
+
+- **issue-bound**: total issue slots (``warp_size / simd_width`` per warp
+  instruction, plus shared-memory bank-conflict replays and constant-
+  cache serializations) divided over the SMs that actually receive CTAs.
+- **bandwidth-bound**: busiest memory channel's service time; off-chip
+  transactions are address-interleaved over channels, optionally filtered
+  through Fermi's per-SM L1 and unified L2 first.
+- **latency-bound**: total exposed memory latency divided by the
+  resident-warp concurrency the occupancy calculation allows.
+
+This is the Hong & Kim-style analytic family the paper cites ([14]); it
+reproduces the qualitative contrasts the characterization reports (which
+workloads scale with SM count, which saturate channels, which are
+latency-exposed at low occupancy) from a single functional trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.gpusim.config import GPUConfig
+from repro.gpusim.isa import TRANSACTION_BYTES, Category
+from repro.gpusim.memory import CacheModel
+from repro.gpusim.trace import KernelTrace, LaunchTrace
+
+#: Memory-level-parallelism factor: outstanding requests a warp overlaps.
+_MLP = 4.0
+
+#: Resident warps per SM needed to keep the issue stage fully fed
+#: (hides ALU dependency latency); below this, issue efficiency drops
+#: as sqrt(warps / threshold).
+_FULL_ISSUE_WARPS = 20.0
+
+
+@dataclasses.dataclass
+class LaunchTiming:
+    kernel_name: str
+    cycles: float
+    issue_cycles: float
+    bandwidth_cycles: float
+    latency_cycles: float
+    ctas_per_sm: int
+    resident_warps: int
+    dram_bytes: int
+    bound: str
+
+
+@dataclasses.dataclass
+class TimingResult:
+    """Timing of a full application run under one configuration."""
+
+    config: GPUConfig
+    launches: List[LaunchTiming]
+    cycles: float
+    thread_insts: int
+    dram_bytes: int
+
+    @property
+    def ipc(self) -> float:
+        return self.thread_insts / self.cycles if self.cycles else 0.0
+
+    @property
+    def time_s(self) -> float:
+        return self.cycles / (self.config.core_clock_ghz * 1e9)
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        t = self.time_s
+        return self.dram_bytes / t / 1e9 if t else 0.0
+
+    @property
+    def bw_utilization(self) -> float:
+        peak = self.config.peak_bandwidth_gbs
+        return self.bandwidth_gbs / peak if peak else 0.0
+
+    def bound_mix(self) -> Dict[str, float]:
+        """Fraction of cycles attributed to each bottleneck class."""
+        total = sum(l.cycles for l in self.launches) or 1.0
+        out = {"issue": 0.0, "bandwidth": 0.0, "latency": 0.0}
+        for l in self.launches:
+            out[l.bound] += l.cycles / total
+        return out
+
+
+class TimingModel:
+    """Prices kernel traces under a configuration."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def occupancy(self, launch: LaunchTrace) -> Dict[str, int]:
+        """Resident CTAs/warps per SM under all four occupancy limiters."""
+        cfg = self.config
+        threads = launch.threads_per_block
+        warps_per_cta = math.ceil(threads / cfg.warp_size)
+        by_threads = max(1, cfg.max_threads_per_sm // threads)
+        shared = launch.shared_bytes_per_block
+        by_shared = (
+            max(1, cfg.shared_mem_per_sm // shared) if shared > 0 else cfg.max_ctas_per_sm
+        )
+        regs = launch.regs_per_thread * threads
+        by_regs = max(1, cfg.regs_per_sm // regs) if regs > 0 else cfg.max_ctas_per_sm
+        ctas_per_sm = min(cfg.max_ctas_per_sm, by_threads, by_shared, by_regs)
+        # Shared usage beyond capacity still runs one CTA (hardware would
+        # refuse the launch; we degrade gracefully and flag it).
+        if shared > cfg.shared_mem_per_sm:
+            ctas_per_sm = 1
+        return {
+            "ctas_per_sm": ctas_per_sm,
+            "warps_per_cta": warps_per_cta,
+            "resident_warps": ctas_per_sm * warps_per_cta,
+            "by_threads": by_threads,
+            "by_shared": by_shared,
+            "by_regs": by_regs,
+        }
+
+    # ------------------------------------------------------------------
+    def _channel_busy(
+        self, addrs: np.ndarray, weights: Optional[np.ndarray] = None
+    ) -> float:
+        """Busiest channel's service time, in core cycles."""
+        cfg = self.config
+        if addrs.size == 0:
+            return 0.0
+        channels = (addrs >> 8) % cfg.n_mem_channels
+        counts = np.bincount(
+            channels.astype(np.int64),
+            weights=weights,
+            minlength=cfg.n_mem_channels,
+        )
+        cycles_per_tx = (
+            TRANSACTION_BYTES
+            / (cfg.bus_width_bytes * 2)
+            * (cfg.core_clock_ghz / cfg.mem_clock_ghz)
+        )
+        return float(counts.max() * cycles_per_tx)
+
+    def _filter_through_caches(
+        self, launch: LaunchTrace, effective_sms: int
+    ) -> tuple:
+        """Run transactions through L1/L2; returns (dram_addrs, avg_latency).
+
+        L1s are per-SM (CTAs map to SMs round-robin); the L2 is unified.
+        Without caches, all transactions go to DRAM at full latency.
+        """
+        cfg = self.config
+        addrs, blocks, stores = launch.transactions()
+        if addrs.size == 0:
+            return addrs, float(cfg.mem_latency_cycles)
+        if not cfg.has_l1 and not cfg.has_l2:
+            return addrs, float(cfg.mem_latency_cycles)
+
+        total = addrs.size
+        l1_hits = 0
+        survivors = addrs
+        if cfg.has_l1:
+            n_sms = max(1, effective_sms)
+            if cfg.cta_scheduler == "chunked":
+                n_blocks = max(1, launch.n_blocks)
+                chunk = max(1, math.ceil(n_blocks / n_sms))
+                sms = np.minimum(blocks // chunk, n_sms - 1)
+            else:
+                sms = blocks % n_sms
+            l1s = [
+                CacheModel(cfg.l1_size, cfg.l1_assoc, TRANSACTION_BYTES)
+                for _ in range(max(1, effective_sms))
+            ]
+            hit_mask = np.empty(total, dtype=bool)
+            addr_list = addrs.tolist()
+            sm_list = sms.tolist()
+            for i in range(total):
+                hit_mask[i] = l1s[sm_list[i]].access_one(addr_list[i])
+            l1_hits = int(hit_mask.sum())
+            survivors = addrs[~hit_mask]
+        l2_hits = 0
+        if cfg.has_l2 and survivors.size:
+            l2 = CacheModel(cfg.l2_size, cfg.l2_assoc, TRANSACTION_BYTES, hash_sets=True)
+            hit2 = l2.access(survivors)
+            l2_hits = int(hit2.sum())
+            dram = survivors[~hit2]
+        else:
+            dram = survivors
+        lat = (
+            l1_hits * cfg.l1_latency_cycles
+            + l2_hits * cfg.l2_latency_cycles
+            + dram.size * cfg.mem_latency_cycles
+        ) / total
+        return dram, float(lat)
+
+    # ------------------------------------------------------------------
+    def time_launch(self, launch: LaunchTrace) -> LaunchTiming:
+        cfg = self.config
+        occ = self.occupancy(launch)
+        n_blocks = max(1, launch.n_blocks)
+        effective_sms = min(cfg.n_sms, n_blocks)
+
+        # Actual residency: capacity-limited CTAs, but a small grid may
+        # not fill even that (e.g. LUD's diagonal kernel, NW's early
+        # wavefronts).
+        waves = math.ceil(n_blocks / effective_sms)
+        actual_ctas = max(1, min(occ["ctas_per_sm"], waves))
+        actual_warps = actual_ctas * occ["warps_per_cta"]
+
+        # Issue-bound component.  Below _FULL_ISSUE_WARPS resident warps
+        # the scheduler cannot cover ALU dependency latency, so issue
+        # efficiency degrades (this is what makes shared-memory-hungry
+        # kernels prefer Fermi's shared-bias split: the 16 kB
+        # configuration halves their resident CTAs).
+        slots_per_inst = cfg.warp_size / cfg.simd_width
+        issue_slots = launch.issued_warp_insts * slots_per_inst
+        if cfg.model_bank_conflicts:
+            issue_slots += launch.shared_replays * slots_per_inst
+        issue_slots += launch.const_serializations
+        issue_stall = max(1.0, math.sqrt(_FULL_ISSUE_WARPS / actual_warps))
+        issue_cycles = issue_slots / effective_sms * issue_stall
+
+        # Bandwidth-bound component (through caches when configured).
+        dram_addrs, avg_latency = self._filter_through_caches(launch, effective_sms)
+        bandwidth_cycles = self._channel_busy(dram_addrs)
+
+        # Latency-bound component: per-SM transaction latency divided by
+        # warp concurrency and per-warp MLP.
+        tx_per_sm = launch.n_transactions / effective_sms
+        concurrency = actual_warps
+        latency_cycles = tx_per_sm * avg_latency / (concurrency * _MLP)
+
+        body = max(issue_cycles, bandwidth_cycles, latency_cycles)
+        bound = "issue"
+        if bandwidth_cycles == body and bandwidth_cycles > 0:
+            bound = "bandwidth"
+        if latency_cycles == body and latency_cycles > 0:
+            bound = "latency"
+        if issue_cycles == body:
+            bound = "issue"
+        cycles = cfg.launch_overhead_cycles + body
+        return LaunchTiming(
+            kernel_name=launch.kernel_name,
+            cycles=cycles,
+            issue_cycles=issue_cycles,
+            bandwidth_cycles=bandwidth_cycles,
+            latency_cycles=latency_cycles,
+            ctas_per_sm=occ["ctas_per_sm"],
+            resident_warps=actual_warps,
+            dram_bytes=int(dram_addrs.size) * TRANSACTION_BYTES,
+            bound=bound,
+        )
+
+    def time(self, trace: KernelTrace) -> TimingResult:
+        launches = [self.time_launch(lt) for lt in trace.launches]
+        return TimingResult(
+            config=self.config,
+            launches=launches,
+            cycles=sum(l.cycles for l in launches),
+            thread_insts=trace.thread_insts,
+            dram_bytes=sum(l.dram_bytes for l in launches),
+        )
+
+    # ------------------------------------------------------------------
+    # Concurrent kernel execution (paper future work, Section VII)
+    # ------------------------------------------------------------------
+    def time_concurrent(self, traces: List[KernelTrace]) -> "ConcurrentTiming":
+        """Co-schedule several applications on one GPU.
+
+        The paper lists "simultaneous kernel execution" as a planned
+        Rodinia feature.  Model: co-running kernels share the machine's
+        two throughput resources — issue slots and memory channels — so
+        the co-run's duration is the larger of the *summed* issue demand
+        and the *summed* channel demand (plus each app's exposed-latency
+        floor).  Complementary pairs (one issue-bound + one
+        bandwidth-bound) overlap their demands and finish faster than
+        running back-to-back.
+        """
+        if not traces:
+            raise ValueError("need at least one trace")
+        singles = [self.time(tr) for tr in traces]
+        serial_cycles = sum(t.cycles for t in singles)
+        total_issue = sum(
+            l.issue_cycles for t in singles for l in t.launches
+        )
+        total_bw = sum(
+            l.bandwidth_cycles for t in singles for l in t.launches
+        )
+        latency_floor = max(
+            (l.latency_cycles for t in singles for l in t.launches),
+            default=0.0,
+        )
+        overhead = sum(
+            self.config.launch_overhead_cycles * len(t.launches)
+            for t in singles
+        ) / max(1, len(singles))  # launches overlap across streams
+        concurrent_cycles = overhead + max(total_issue, total_bw, latency_floor)
+        # Co-running can never beat the slowest member running alone.
+        concurrent_cycles = max(
+            concurrent_cycles, max(t.cycles for t in singles) * 0.999
+        )
+        return ConcurrentTiming(
+            config=self.config,
+            singles=singles,
+            serial_cycles=float(serial_cycles),
+            concurrent_cycles=float(concurrent_cycles),
+        )
+
+
+@dataclasses.dataclass
+class ConcurrentTiming:
+    """Serial vs co-scheduled execution of multiple applications."""
+
+    config: GPUConfig
+    singles: List[TimingResult]
+    serial_cycles: float
+    concurrent_cycles: float
+
+    @property
+    def speedup(self) -> float:
+        """Throughput gain of co-scheduling over back-to-back runs."""
+        if self.concurrent_cycles <= 0:
+            return 1.0
+        return self.serial_cycles / self.concurrent_cycles

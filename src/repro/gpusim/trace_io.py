@@ -1,0 +1,111 @@
+"""Kernel-trace serialization.
+
+A :class:`~repro.gpusim.trace.KernelTrace` is the expensive artifact of
+a characterization run (the functional execution); the timing model is
+cheap.  Persisting traces lets a user collect once and explore
+configurations offline — the same collect/analyze split GPGPU-Sim users
+rely on:
+
+    save_trace(gpu.trace, "bfs.npz")
+    ...
+    trace = load_trace("bfs.npz")
+    TimingModel(my_config).time(trace)
+
+Format: a single ``.npz`` with flat arrays per launch plus a small JSON
+header; loads back bit-identically (timing results match exactly).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+import numpy as np
+
+from repro.gpusim.isa import Category, Space
+from repro.gpusim.trace import KernelTrace
+
+_FORMAT_VERSION = 1
+
+_INT_FIELDS = (
+    "thread_insts",
+    "issued_warp_insts",
+    "shared_replays",
+    "const_serializations",
+    "tex_accesses",
+    "tex_hits",
+    "const_accesses",
+    "const_hits",
+    "shared_bytes_per_block",
+)
+
+
+def save_trace(trace: KernelTrace, path: Union[str, "os.PathLike"]) -> None:
+    """Write a trace to a ``.npz`` file."""
+    header = {
+        "format": _FORMAT_VERSION,
+        "app_name": trace.app_name,
+        "launches": [],
+    }
+    arrays = {}
+    for i, lt in enumerate(trace.launches):
+        meta = {
+            "kernel_name": lt.kernel_name,
+            "grid": list(lt.grid),
+            "block": list(lt.block),
+            "regs_per_thread": lt.regs_per_thread,
+            "category_warp_insts": {
+                c.value: n for c, n in lt.category_warp_insts.items()
+            },
+            "mem_warp_insts": {s.value: n for s, n in lt.mem_warp_insts.items()},
+        }
+        for field in _INT_FIELDS:
+            meta[field] = int(getattr(lt, field))
+        header["launches"].append(meta)
+        addrs, blocks, stores = lt.transactions()
+        arrays[f"l{i}_occupancy"] = lt.occupancy_hist
+        arrays[f"l{i}_tx_addr"] = addrs
+        arrays[f"l{i}_tx_block"] = blocks
+        arrays[f"l{i}_tx_store"] = stores
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_trace(path: Union[str, "os.PathLike"]) -> KernelTrace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
+        if header.get("format") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format {header.get('format')!r}"
+            )
+        trace = KernelTrace(header["app_name"])
+        for i, meta in enumerate(header["launches"]):
+            lt = trace.new_launch(
+                meta["kernel_name"],
+                tuple(meta["grid"]),
+                tuple(meta["block"]),
+                meta["regs_per_thread"],
+            )
+            for field in _INT_FIELDS:
+                setattr(lt, field, meta[field])
+            lt.category_warp_insts = {
+                Category(k): v for k, v in meta["category_warp_insts"].items()
+            }
+            lt.mem_warp_insts = {
+                Space(k): v for k, v in meta["mem_warp_insts"].items()
+            }
+            lt.occupancy_hist = data[f"l{i}_occupancy"].copy()
+            addrs = data[f"l{i}_tx_addr"]
+            if addrs.size:
+                lt._tx_final = (
+                    addrs.copy(),
+                    data[f"l{i}_tx_block"].copy(),
+                    data[f"l{i}_tx_store"].copy(),
+                )
+                lt._tx_addr_chunks = [lt._tx_final[0]]
+                lt._tx_block_chunks = [lt._tx_final[1]]
+                lt._tx_store_chunks = [lt._tx_final[2]]
+        return trace

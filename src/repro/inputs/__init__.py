@@ -1,0 +1,13 @@
+"""Deterministic synthetic input generators.
+
+The paper's workloads consume domain inputs (ultrasound image sequences,
+DNA reads, unstructured CFD meshes, video frames, transaction databases).
+Those exact datasets are not redistributable, so each generator here
+synthesizes a statistically similar input exercising the same code paths
+(documented per substitution in DESIGN.md).  All generators are seeded
+via :func:`repro.common.rng.make_rng` and fully reproducible.
+"""
+
+from repro.inputs import graphs, images, meshes, misc, points, sequences
+
+__all__ = ["graphs", "images", "meshes", "misc", "points", "sequences"]

@@ -1,0 +1,43 @@
+"""Random graph generation in CSR form (BFS, MUMmer tree layouts)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.common.rng import make_rng
+
+
+def random_graph_csr(
+    n_nodes: int, avg_degree: int = 6, seed_tag: str = "bfs"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Connected random directed graph as (row_offsets, col_indices).
+
+    A Hamiltonian backbone over a random permutation guarantees
+    connectivity (so BFS reaches every node); remaining edges are uniform
+    random.  Mirrors the generator shipped with Rodinia's BFS, which
+    produces uniform random graphs.
+    """
+    rng = make_rng("graph", seed_tag, n_nodes, avg_degree)
+    perm = rng.permutation(n_nodes)
+    backbone_src = perm[:-1]
+    backbone_dst = perm[1:]
+    n_extra = max(0, n_nodes * avg_degree - (n_nodes - 1))
+    extra_src = rng.integers(0, n_nodes, n_extra)
+    extra_dst = rng.integers(0, n_nodes, n_extra)
+    src = np.concatenate([backbone_src, extra_src])
+    dst = np.concatenate([backbone_dst, extra_dst])
+    order = np.argsort(src, kind="stable")
+    src = src[order]
+    dst = dst[order]
+    row_offsets = np.zeros(n_nodes + 1, dtype=np.int64)
+    np.add.at(row_offsets, src + 1, 1)
+    row_offsets = np.cumsum(row_offsets)
+    return row_offsets.astype(np.int64), dst.astype(np.int64)
+
+
+def bfs_source(n_nodes: int, seed_tag: str = "bfs") -> int:
+    """Deterministic BFS source node."""
+    rng = make_rng("graph-src", seed_tag, n_nodes)
+    return int(rng.integers(0, n_nodes))

@@ -1,0 +1,123 @@
+"""Synthetic image inputs.
+
+Generates speckled ultrasound-like frames (SRAD, Heartwall), cell images
+(Leukocyte), video frame sequences (Bodytrack, X264), and generic photos
+(Vips, Ferret) with deterministic seeding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.common.rng import make_rng
+
+
+def _disk_mask(h: int, w: int, cy: float, cx: float, r: float) -> np.ndarray:
+    ys, xs = np.mgrid[0:h, 0:w]
+    return (ys - cy) ** 2 + (xs - cx) ** 2 <= r * r
+
+
+def speckled_ultrasound(h: int, w: int, seed_tag: str = "srad") -> np.ndarray:
+    """Ultrasound-like image: smooth anatomy + multiplicative speckle.
+
+    SRAD's whole purpose is removing exactly this speckle, so the
+    generator reproduces the standard multiplicative-noise model.
+    """
+    rng = make_rng("ultrasound", seed_tag, h, w)
+    img = np.full((h, w), 0.3)
+    img[_disk_mask(h, w, h * 0.5, w * 0.5, min(h, w) * 0.32)] = 0.7
+    img[_disk_mask(h, w, h * 0.5, w * 0.5, min(h, w) * 0.18)] = 0.45
+    speckle = rng.gamma(shape=4.0, scale=0.25, size=(h, w))
+    return (img * speckle).astype(np.float64)
+
+
+def heart_sequence(
+    n_frames: int, h: int, w: int, seed_tag: str = "heartwall"
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Synthetic beating-heart ultrasound sequence.
+
+    Returns ``(frames, inner_radii, outer_radii)``: two concentric walls
+    whose radii oscillate over the sequence — the structure Heartwall
+    tracks.  Radii arrays give the ground truth for self-checks.
+    """
+    rng = make_rng("heart", seed_tag, n_frames, h, w)
+    cy, cx = h / 2.0, w / 2.0
+    base_inner = min(h, w) * 0.18
+    base_outer = min(h, w) * 0.34
+    frames = np.empty((n_frames, h, w))
+    inner_r = np.empty(n_frames)
+    outer_r = np.empty(n_frames)
+    for f in range(n_frames):
+        phase = 2 * np.pi * f / max(1, n_frames)
+        ri = base_inner * (1.0 + 0.15 * np.sin(phase))
+        ro = base_outer * (1.0 + 0.08 * np.sin(phase))
+        img = np.full((h, w), 0.25)
+        img[_disk_mask(h, w, cy, cx, ro)] = 0.65
+        img[_disk_mask(h, w, cy, cx, ri)] = 0.2
+        speckle = rng.gamma(shape=6.0, scale=1.0 / 6.0, size=(h, w))
+        frames[f] = img * speckle
+        inner_r[f] = ri
+        outer_r[f] = ro
+    return frames, inner_r, outer_r
+
+
+def cell_image(
+    h: int, w: int, n_cells: int, radius: float, seed_tag: str = "leukocyte"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """In-vivo microscopy-like frame with bright circular leukocytes.
+
+    Returns ``(image, centers)`` with centers as an (n_cells, 2) array of
+    (y, x) ground-truth positions for detection self-checks.
+    """
+    rng = make_rng("cells", seed_tag, h, w, n_cells)
+    img = rng.normal(0.35, 0.05, size=(h, w))
+    margin = radius * 2.0
+    min_sep = radius * 5.0
+    centers = np.empty((n_cells, 2))
+    for i in range(n_cells):
+        # Rejection-sample so planted cells stay separable by detection.
+        for _ in range(200):
+            cy = rng.uniform(margin, h - margin)
+            cx = rng.uniform(margin, w - margin)
+            if all(
+                (cy - centers[j, 0]) ** 2 + (cx - centers[j, 1]) ** 2
+                >= min_sep * min_sep
+                for j in range(i)
+            ):
+                break
+        centers[i] = (cy, cx)
+        img[_disk_mask(h, w, cy, cx, radius)] += 0.5
+        img[_disk_mask(h, w, cy, cx, radius * 0.55)] -= 0.25
+    return np.clip(img, 0.0, 1.0), centers
+
+
+def video_sequence(
+    n_frames: int, h: int, w: int, seed_tag: str = "video"
+) -> np.ndarray:
+    """Frames with moving blocks over textured background (x264/bodytrack)."""
+    rng = make_rng("video", seed_tag, n_frames, h, w)
+    background = rng.uniform(0.2, 0.8, size=(h, w))
+    frames = np.empty((n_frames, h, w))
+    n_objects = 4
+    pos = rng.uniform(0.1, 0.7, size=(n_objects, 2)) * [h, w]
+    vel = rng.uniform(-2.0, 2.0, size=(n_objects, 2))
+    size = max(8, h // 10)  # at least template-sized, so trackers lock on
+    for f in range(n_frames):
+        frame = background.copy()
+        for o in range(n_objects):
+            y = int(pos[o, 0]) % max(1, h - size)
+            x = int(pos[o, 1]) % max(1, w - size)
+            frame[y : y + size, x : x + size] = 0.1 + 0.2 * o / n_objects
+        frames[f] = frame
+        pos += vel
+    return frames
+
+
+def photo(h: int, w: int, seed_tag: str = "photo") -> np.ndarray:
+    """Generic natural-image stand-in: low-frequency field plus detail."""
+    rng = make_rng("photo", seed_tag, h, w)
+    coarse = rng.uniform(0.0, 1.0, size=((h + 7) // 8, (w + 7) // 8))
+    img = np.kron(coarse, np.ones((8, 8)))[:h, :w]
+    return np.clip(img + rng.normal(0.0, 0.05, size=(h, w)), 0.0, 1.0)

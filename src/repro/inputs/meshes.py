@@ -1,0 +1,99 @@
+"""Unstructured-mesh synthesis (CFD solver, Facesim).
+
+The CFD solver of Corrigan et al. operates on an unstructured 3-D
+finite-volume mesh: per element, state variables plus the indices and
+face normals of its neighbors.  We synthesize a topologically unstructured
+mesh by perturbing and permuting a structured hexahedral grid: adjacency
+is grid-like (4-6 neighbors) but element numbering is randomized, so the
+memory-access pattern is a genuine indexed gather, as in the original.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from repro.common.rng import make_rng
+
+
+@dataclasses.dataclass
+class UnstructuredMesh:
+    """Finite-volume mesh: per-element neighbor indices and face normals."""
+
+    n_elements: int
+    neighbors: np.ndarray      # (n, 4) element indices, -1 for boundary
+    face_normals: np.ndarray   # (n, 4, 3) outward normals scaled by area
+    volumes: np.ndarray        # (n,)
+
+
+def cfd_mesh(nx: int, ny: int, nz: int = 2, seed_tag: str = "cfd") -> UnstructuredMesh:
+    """Perturbed grid mesh with 4 tracked faces per element.
+
+    Element numbering follows the grid order: this models the
+    locality-optimized ("appropriate numbering scheme") renumbering the
+    Rodinia CFD solver applies to reduce uncoalesced accesses — the
+    adjacency is still consumed through an explicit indexed gather, as
+    in any unstructured solver, but neighbor indices are mostly nearby.
+    """
+    rng = make_rng("mesh", seed_tag, nx, ny, nz)
+    n = nx * ny * nz
+
+    def idx(i, j, k):
+        return (i * ny + j) * nz + k
+
+    neighbors = np.full((n, 4), -1, dtype=np.int64)
+    normals = np.zeros((n, 4, 3))
+    base_dirs = np.array(
+        [[1.0, 0, 0], [-1.0, 0, 0], [0, 1.0, 0], [0, -1.0, 0]]
+    )
+    for i in range(nx):
+        for j in range(ny):
+            for k in range(nz):
+                e = idx(i, j, k)
+                nbrs = [
+                    idx(i + 1, j, k) if i + 1 < nx else -1,
+                    idx(i - 1, j, k) if i - 1 >= 0 else -1,
+                    idx(i, j + 1, k) if j + 1 < ny else -1,
+                    idx(i, j - 1, k) if j - 1 >= 0 else -1,
+                ]
+                for f, nb in enumerate(nbrs):
+                    neighbors[e, f] = nb
+                    jitter = rng.normal(0.0, 0.05, 3)
+                    normals[e, f] = base_dirs[f] + jitter
+    volumes = rng.uniform(0.9, 1.1, n)
+    return UnstructuredMesh(n, neighbors, normals, volumes)
+
+
+def tet_spring_mesh(
+    nx: int, ny: int, nz: int, seed_tag: str = "facesim"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Spring lattice for the Facesim stand-in.
+
+    Returns ``(positions, edges)``: node positions of a jittered 3-D
+    lattice and the spring edge list (6-connectivity), mimicking a
+    tetrahedralized flesh mesh's sparsity.
+    """
+    rng = make_rng("tetmesh", seed_tag, nx, ny, nz)
+    grid = np.stack(
+        np.meshgrid(np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"),
+        axis=-1,
+    ).reshape(-1, 3).astype(np.float64)
+    positions = grid + rng.normal(0.0, 0.05, grid.shape)
+
+    def idx(i, j, k):
+        return (i * ny + j) * nz + k
+
+    edges = []
+    for i in range(nx):
+        for j in range(ny):
+            for k in range(nz):
+                e = idx(i, j, k)
+                if i + 1 < nx:
+                    edges.append((e, idx(i + 1, j, k)))
+                if j + 1 < ny:
+                    edges.append((e, idx(i, j + 1, k)))
+                if k + 1 < nz:
+                    edges.append((e, idx(i, j, k + 1)))
+    return positions, np.asarray(edges, dtype=np.int64)

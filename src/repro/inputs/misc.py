@@ -1,0 +1,101 @@
+"""Remaining domain inputs: options, swaptions, netlists, transaction
+databases, dedup byte streams, and feature databases for similarity
+search."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.common.rng import make_rng
+
+
+def option_portfolio(n_options: int, seed_tag: str = "blackscholes") -> dict:
+    """European option parameters in realistic ranges (Parsec-style)."""
+    rng = make_rng("options", seed_tag, n_options)
+    return {
+        "spot": rng.uniform(20.0, 120.0, n_options),
+        "strike": rng.uniform(20.0, 120.0, n_options),
+        "rate": rng.uniform(0.01, 0.08, n_options),
+        "volatility": rng.uniform(0.1, 0.6, n_options),
+        "expiry": rng.uniform(0.25, 2.0, n_options),
+        "is_call": rng.random(n_options) < 0.5,
+    }
+
+
+def swaption_portfolio(n_swaptions: int, seed_tag: str = "swaptions") -> dict:
+    """HJM swaption parameters (maturity/tenor/strike/initial curve)."""
+    rng = make_rng("swaptions", seed_tag, n_swaptions)
+    n_curve = 11
+    base_curve = 0.03 + 0.01 * np.linspace(0.0, 1.0, n_curve)
+    return {
+        "maturity_steps": rng.integers(2, 6, n_swaptions),
+        "tenor_steps": rng.integers(2, 6, n_swaptions),
+        "strike": rng.uniform(0.02, 0.06, n_swaptions),
+        "vol": rng.uniform(0.05, 0.2, n_swaptions),
+        "initial_curve": np.tile(base_curve, (n_swaptions, 1))
+        + rng.normal(0.0, 0.002, (n_swaptions, n_curve)),
+    }
+
+
+def netlist(
+    n_elements: int, grid_side: int, seed_tag: str = "canneal"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Synthetic chip netlist: element fanout lists + initial placement.
+
+    Returns ``(fanout, locations)``: fanout is (n, 4) net partner
+    indices (mostly near in index space, some far — Rent's-rule-ish),
+    locations is the initial random placement on a grid_side^2 board.
+    """
+    rng = make_rng("netlist", seed_tag, n_elements)
+    near = (
+        np.arange(n_elements)[:, None]
+        + rng.integers(-16, 17, (n_elements, 3))
+    ) % n_elements
+    far = rng.integers(0, n_elements, (n_elements, 1))
+    fanout = np.concatenate([near, far], axis=1).astype(np.int64)
+    locations = rng.permutation(grid_side * grid_side)[:n_elements]
+    return fanout, locations.astype(np.int64)
+
+
+def transaction_db(
+    n_transactions: int,
+    n_items: int,
+    avg_len: int = 8,
+    seed_tag: str = "freqmine",
+) -> List[np.ndarray]:
+    """Market-basket transactions with Zipf-ish item popularity."""
+    rng = make_rng("transactions", seed_tag, n_transactions, n_items)
+    popularity = 1.0 / np.arange(1, n_items + 1)
+    popularity /= popularity.sum()
+    out = []
+    for _ in range(n_transactions):
+        k = max(1, int(rng.poisson(avg_len)))
+        items = rng.choice(n_items, size=min(k, n_items), replace=False, p=popularity)
+        out.append(np.unique(items).astype(np.int64))
+    return out
+
+
+def dedup_stream(n_bytes: int, dup_rate: float = 0.5, seed_tag: str = "dedup") -> np.ndarray:
+    """Byte stream with repeated blocks (storage-archive-like)."""
+    rng = make_rng("dedupstream", seed_tag, n_bytes)
+    block = 512
+    n_blocks = max(1, n_bytes // block)
+    unique_pool = rng.integers(0, 256, (max(2, n_blocks // 4), block), dtype=np.uint8)
+    out = np.empty((n_blocks, block), dtype=np.uint8)
+    for i in range(n_blocks):
+        if rng.random() < dup_rate:
+            out[i] = unique_pool[rng.integers(0, unique_pool.shape[0])]
+        else:
+            out[i] = rng.integers(0, 256, block, dtype=np.uint8)
+    return out.reshape(-1)[:n_bytes]
+
+
+def feature_database(
+    n_images: int, n_dims: int, seed_tag: str = "ferret"
+) -> np.ndarray:
+    """Image-feature database for similarity search (unit-normalized)."""
+    rng = make_rng("features", seed_tag, n_images, n_dims)
+    db = rng.normal(0.0, 1.0, (n_images, n_dims))
+    return db / np.linalg.norm(db, axis=1, keepdims=True)

@@ -1,0 +1,52 @@
+"""DNA sequence synthesis (Needleman-Wunsch, MUMmer)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.common.rng import make_rng
+
+#: Nucleotide alphabet as small integers (A, C, G, T).
+ALPHABET = 4
+
+
+def random_sequence(length: int, seed_tag: str = "dna") -> np.ndarray:
+    """Uniform random nucleotide sequence as int8 codes in [0, 4)."""
+    rng = make_rng("dna", seed_tag, length)
+    return rng.integers(0, ALPHABET, length, dtype=np.int8)
+
+
+def reads_from_reference(
+    reference: np.ndarray,
+    n_reads: int,
+    read_len: int,
+    error_rate: float = 0.05,
+    seed_tag: str = "mummer",
+) -> np.ndarray:
+    """Sample reads from a reference with point mutations.
+
+    Models a sequencing run: most reads align somewhere in the reference
+    (so suffix-tree walks descend deep, as in MUMmerGPU), with occasional
+    mismatches that terminate matches early.
+    """
+    rng = make_rng("reads", seed_tag, n_reads, read_len)
+    n_ref = reference.size
+    starts = rng.integers(0, max(1, n_ref - read_len), n_reads)
+    reads = np.empty((n_reads, read_len), dtype=np.int8)
+    for i, s in enumerate(starts):
+        reads[i] = reference[s : s + read_len]
+    errors = rng.random((n_reads, read_len)) < error_rate
+    substitutions = rng.integers(1, ALPHABET, (n_reads, read_len))
+    reads[errors] = (reads[errors] + substitutions[errors]) % ALPHABET
+    return reads
+
+
+def blosum_like_matrix(seed_tag: str = "nw") -> np.ndarray:
+    """A 4x4 substitution score matrix (match-biased, symmetric)."""
+    rng = make_rng("subst", seed_tag)
+    m = rng.integers(-4, 0, (ALPHABET, ALPHABET))
+    m = ((m + m.T) / 2).astype(np.int32)
+    np.fill_diagonal(m, 5)
+    return m

@@ -1,0 +1,28 @@
+"""Workload implementations: the 12 Rodinia and 13 Parsec applications.
+
+Each workload module registers itself in :mod:`repro.workloads.base`;
+:func:`repro.workloads.load_all` imports every module so the registry is
+fully populated.  Rodinia workloads provide both a GPU (SIMT DSL) and a
+CPU (instrumented OpenMP-style) implementation; Parsec workloads provide
+the CPU implementation used by the suite-comparison study.
+"""
+
+from repro.workloads.base import (
+    REGISTRY,
+    WorkloadDef,
+    WorkloadMeta,
+    all_parsec,
+    all_rodinia,
+    get,
+    load_all,
+)
+
+__all__ = [
+    "REGISTRY",
+    "WorkloadDef",
+    "WorkloadMeta",
+    "all_parsec",
+    "all_rodinia",
+    "get",
+    "load_all",
+]

@@ -1,0 +1,1 @@
+"""Parsec workload implementations."""

@@ -1,0 +1,150 @@
+"""Blackscholes (Parsec) — financial analysis.
+
+Paper (Table V) problem size: 65,536 options.
+
+Portfolio pricing with the closed-form Black-Scholes PDE solution; the
+Parsec kernel re-prices the whole portfolio ``NUM_RUNS`` times across a
+static partition of options.  Arithmetic-dominated with tiny, streaming
+working sets — the classic low-sharing, low-miss-rate corner of the
+PCA space (Figs. 7-9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.cpusim import Machine
+from repro.inputs.misc import option_portfolio
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="blackscholes",
+    suite="parsec",
+    dwarf="Dense Linear Algebra",
+    domain="Financial Analysis",
+    paper_size="65,536 options",
+    description="Closed-form option pricing over a static partition",
+)
+
+_NUM_RUNS = 4
+_INV_SQRT_2PI = 0.3989422804014327
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    n = {SimScale.TINY: 2048, SimScale.SMALL: 8192, SimScale.MEDIUM: 32768}[scale]
+    return {"n": n, "runs": _NUM_RUNS}
+
+
+def _cndf(x: np.ndarray) -> np.ndarray:
+    """Cumulative normal via the polynomial expansion Parsec uses."""
+    sign = x < 0
+    ax = np.abs(x)
+    k = 1.0 / (1.0 + 0.2316419 * ax)
+    poly = k * (0.319381530 + k * (-0.356563782 + k * (1.781477937
+           + k * (-1.821255978 + k * 1.330274429))))
+    approx = 1.0 - _INV_SQRT_2PI * np.exp(-0.5 * ax * ax) * poly
+    return np.where(sign, 1.0 - approx, approx)
+
+
+def _price(spot, strike, rate, vol, expiry, is_call):
+    sqrt_t = np.sqrt(expiry)
+    d1 = (np.log(spot / strike) + (rate + 0.5 * vol * vol) * expiry) / (vol * sqrt_t)
+    d2 = d1 - vol * sqrt_t
+    call = spot * _cndf(d1) - strike * np.exp(-rate * expiry) * _cndf(d2)
+    put = strike * np.exp(-rate * expiry) * _cndf(-d2) - spot * _cndf(-d1)
+    return np.where(is_call, call, put)
+
+
+def reference(p: dict) -> np.ndarray:
+    opts = option_portfolio(p["n"])
+    return _price(opts["spot"], opts["strike"], opts["rate"],
+                  opts["volatility"], opts["expiry"], opts["is_call"])
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = cpu_sizes(scale)
+    n = p["n"]
+    opts = option_portfolio(n)
+    spot = machine.array(opts["spot"], name="spot")
+    strike = machine.array(opts["strike"], name="strike")
+    rate = machine.array(opts["rate"], name="rate")
+    vol = machine.array(opts["volatility"], name="volatility")
+    expiry = machine.array(opts["expiry"], name="expiry")
+    is_call = machine.array(opts["is_call"].astype(np.int8), name="is_call")
+    prices = machine.alloc(n, name="prices")
+    batch = 256
+
+    def worker(t):
+        chunk = t.chunk(n)
+        for lo in range(chunk.start, chunk.stop, batch):
+            idx = np.arange(lo, min(lo + batch, chunk.stop))
+            s = t.load(spot, idx)
+            k = t.load(strike, idx)
+            r = t.load(rate, idx)
+            v = t.load(vol, idx)
+            tt = t.load(expiry, idx)
+            c = t.load(is_call, idx) != 0
+            t.alu(55 * idx.size)   # log/exp/sqrt-heavy formula
+            t.branch(idx.size)
+            t.store(prices, idx, _price(s, k, r, v, tt, c))
+
+    for _ in range(p["runs"]):
+        machine.parallel(worker)
+    return prices.to_host()
+
+
+def check_cpu(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_allclose(result, reference(cpu_sizes(scale)), rtol=1e-10)
+
+
+# ----------------------------------------------------------------------
+# Experimental GPU port (Section V-B: "Can the Parsec workloads be
+# effectively mapped to heterogeneous platforms?").  Blackscholes is the
+# *easy* case: one thread per option, no synchronization, no sharing.
+# Not registered in the suite (Parsec remains CPU-only, as in the
+# paper); used by the ext_parsec_ports experiment.
+# ----------------------------------------------------------------------
+def _bs_kernel(ctx, spot, strike, rate, vol, expiry, is_call, prices, n):
+    i = ctx.gtid
+    with ctx.masked(i < n):
+        s = ctx.load(spot, i)
+        k = ctx.load(strike, i)
+        r = ctx.load(rate, i)
+        v = ctx.load(vol, i)
+        t = ctx.load(expiry, i)
+        c = ctx.load(is_call, i) != 0
+        # The CNDF polynomial + pricing formula: ~55 scalar FLOPs
+        # (log/exp/sqrt/divides included), as charged in the CPU twin.
+        ctx.alu(55)
+        price = _price(s, k, r, v, np.maximum(t, 1e-9), c)
+        ctx.branch()
+        ctx.store(prices, i, price)
+
+
+def gpu_port_run(gpu, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = cpu_sizes(scale)
+    n = p["n"]
+    opts = option_portfolio(n)
+    arrays = [
+        gpu.to_device(opts["spot"], name="spot"),
+        gpu.to_device(opts["strike"], name="strike"),
+        gpu.to_device(opts["rate"], name="rate"),
+        gpu.to_device(opts["volatility"], name="volatility"),
+        gpu.to_device(opts["expiry"], name="expiry"),
+        gpu.to_device(opts["is_call"].astype(np.int8), name="is_call"),
+    ]
+    prices = gpu.alloc(n, dtype=np.float64, name="prices")
+    block = 128
+    for _ in range(p["runs"]):
+        gpu.launch(_bs_kernel, (n + block - 1) // block, block,
+                   *arrays, prices, n, regs_per_thread=24,
+                   name="blackscholes_port")
+    return prices.to_host()
+
+
+def check_gpu_port(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_allclose(result, reference(cpu_sizes(scale)), rtol=1e-10)
+
+
+register(WorkloadDef(META, cpu_fn=cpu_run, check_cpu=check_cpu))

@@ -1,0 +1,147 @@
+"""Bodytrack (Parsec) — computer vision.
+
+Paper (Table V) problem size: 4 frames, 4,000 particles.
+
+Particle-filter tracking: per frame, every particle hypothesizes a
+target position, its likelihood is evaluated against the frame (template
+SAD over a read-shared image), weights are normalized, and the particle
+cloud is resampled around the best hypotheses.  Particles are chunked
+across threads; frames and the template are read-shared, which gives
+Bodytrack its moderate sharing profile (Fig. 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.common.rng import make_rng
+from repro.cpusim import Machine
+from repro.inputs.images import video_sequence
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="bodytrack",
+    suite="parsec",
+    dwarf="Computer Vision / MapReduce",
+    domain="Computer Vision",
+    paper_size="4 frames, 4,000 particles",
+    description="Particle-filter template tracking over a frame sequence",
+)
+
+_TPL = 8
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    res, parts = {
+        SimScale.TINY: (48, 128),
+        SimScale.SMALL: (96, 512),
+        SimScale.MEDIUM: (160, 2000),
+    }[scale]
+    return {"h": res, "w": res, "frames": 4, "particles": parts}
+
+
+def _inputs(p: dict):
+    frames = video_sequence(p["frames"], p["h"], p["w"], seed_tag="bodytrack")
+    rng = make_rng("bodytrack-noise", p["particles"], p["frames"])
+    noise = rng.normal(0.0, 2.0, (p["frames"], p["particles"], 2))
+    # Track the darkest moving block: template from frame 0's darkest area.
+    f0 = frames[0]
+    start = np.unravel_index(np.argmin(
+        f0[: p["h"] - _TPL, : p["w"] - _TPL]), (p["h"] - _TPL, p["w"] - _TPL))
+    template = f0[start[0]:start[0] + _TPL, start[1]:start[1] + _TPL].copy()
+    return frames, noise, template, np.array(start, dtype=np.float64)
+
+
+def _likelihood(frame: np.ndarray, template: np.ndarray, y: int, x: int) -> float:
+    h, w = frame.shape
+    y = min(max(y, 0), h - _TPL)
+    x = min(max(x, 0), w - _TPL)
+    patch = frame[y:y + _TPL, x:x + _TPL]
+    return float(np.abs(patch - template).sum())
+
+
+def _run_filter(p: dict, record_fn=None):
+    """Shared particle-filter logic; record_fn instruments accesses."""
+    frames, noise, template, start = _inputs(p)
+    n = p["particles"]
+    particles = np.tile(start, (n, 1))
+    track = [start.copy()]
+    for f in range(1, p["frames"]):
+        cand = particles + noise[f]
+        sads = np.empty(n)
+        for i in range(n):
+            y, x = int(cand[i, 0]), int(cand[i, 1])
+            if record_fn is not None:
+                record_fn(f, y, x, i)
+            sads[i] = _likelihood(frames[f], template, y, x)
+        weights = np.exp(-sads / (sads.min() + 1e-9))
+        weights /= weights.sum()
+        # Systematic resampling (deterministic).
+        positions = (np.arange(n) + 0.5) / n
+        cumulative = np.cumsum(weights)
+        chosen = np.searchsorted(cumulative, positions)
+        particles = cand[np.minimum(chosen, n - 1)]
+        track.append(particles.mean(axis=0))
+    return np.array(track)
+
+
+def reference(p: dict) -> np.ndarray:
+    return _run_filter(p)
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = cpu_sizes(scale)
+    frames_h, noise, template_h, start = _inputs(p)
+    h, w = p["h"], p["w"]
+    n = p["particles"]
+    frame_arrs = [machine.array(frames_h[f].reshape(-1), name=f"frame{f}")
+                  for f in range(p["frames"])]
+    template = machine.array(template_h.reshape(-1), name="template")
+    sads_arr = machine.alloc(n, name="sads")
+    txs = np.arange(_TPL)
+
+    particles = np.tile(start, (n, 1))
+    track = [start.copy()]
+    for f in range(1, p["frames"]):
+        cand = particles + noise[f]
+
+        def weigh(t):
+            for i in t.chunk(n):
+                y = min(max(int(cand[i, 0]), 0), h - _TPL)
+                x = min(max(int(cand[i, 1]), 0), w - _TPL)
+                sad = 0.0
+                for ty in range(_TPL):
+                    row = t.load(frame_arrs[f], (y + ty) * w + x + txs)
+                    trow = t.load(template, ty * _TPL + txs)
+                    t.alu(3 * _TPL)
+                    sad += np.abs(row - trow).sum()
+                t.store(sads_arr, i, sad)
+
+        machine.parallel(weigh)
+
+        def resample(t):
+            sads = t.load(sads_arr, np.arange(n))
+            t.alu(6 * n)
+            weights = np.exp(-sads / (sads.min() + 1e-9))
+            weights /= weights.sum()
+            positions = (np.arange(n) + 0.5) / n
+            cumulative = np.cumsum(weights)
+            t.branch(n)
+            return np.searchsorted(cumulative, positions)
+
+        chosen = machine.serial(resample)
+        particles = cand[np.minimum(chosen, n - 1)]
+        track.append(particles.mean(axis=0))
+    return np.array(track)
+
+
+def check_cpu(result: np.ndarray, scale: SimScale) -> None:
+    p = cpu_sizes(scale)
+    np.testing.assert_allclose(result, reference(p), rtol=1e-9)
+    # The tracked path must follow a moving object, i.e. actually move.
+    if np.abs(np.diff(result, axis=0)).sum() < 1.0:
+        raise AssertionError("tracker never moved; likelihood is degenerate")
+
+
+register(WorkloadDef(META, cpu_fn=cpu_run, check_cpu=check_cpu))

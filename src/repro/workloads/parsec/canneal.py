@@ -1,0 +1,130 @@
+"""Canneal (Parsec) — engineering (chip design).
+
+Paper (Table V) problem size: 400,000 elements.
+
+Simulated-annealing placement of a synthetic netlist: threads repeatedly
+pick element pairs, evaluate the routing-cost delta from swapping their
+locations (gathering every net partner's location), and commit
+improving or thermally-accepted swaps.  The pointer-chasing gathers over
+a large, randomly-ordered netlist give Canneal its signature large
+working set and high miss rate, and concurrent swaps on the shared
+location array give it strong write-sharing (Figs. 8-10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.common.rng import make_rng
+from repro.cpusim import Machine
+from repro.inputs.misc import netlist
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="canneal",
+    suite="parsec",
+    dwarf="Graph Traversal / Optimization",
+    domain="Engineering",
+    paper_size="400,000 elements",
+    description="Lock-free simulated-annealing netlist placement",
+)
+
+_FANOUT = 4
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    n = {SimScale.TINY: 4096, SimScale.SMALL: 32768, SimScale.MEDIUM: 131072}[scale]
+    # Swap budget scales with the netlist so annealing quality (and the
+    # self-check's improvement threshold) holds at every scale.
+    return {"n": n, "swaps_per_thread": max(768, n // 21), "temp_steps": 3}
+
+
+def _grid_side(n: int) -> int:
+    side = 1
+    while side * side < 2 * n:
+        side *= 2
+    return side
+
+
+def _wire_cost(loc_a: int, loc_b: int, side: int) -> float:
+    ya, xa = divmod(loc_a, side)
+    yb, xb = divmod(loc_b, side)
+    return abs(ya - yb) + abs(xa - xb)
+
+
+def _total_cost(fanout: np.ndarray, locations: np.ndarray, side: int) -> float:
+    ys, xs = np.divmod(locations, side)
+    total = 0.0
+    for f in range(_FANOUT):
+        partner = fanout[:, f]
+        total += (np.abs(ys - ys[partner]) + np.abs(xs - xs[partner])).sum()
+    return float(total)
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL):
+    p = cpu_sizes(scale)
+    n = p["n"]
+    side = _grid_side(n)
+    fanout_h, locations_h = netlist(n, side, seed_tag="canneal")
+    fanout = machine.array(fanout_h.reshape(-1), name="fanout")
+    locations = machine.array(locations_h, name="locations")
+    initial_cost = _total_cost(fanout_h, locations_h, side)
+    fidx = np.arange(_FANOUT)
+
+    def delta_for(t, elem: int, new_loc: int) -> float:
+        """Cost delta of moving ``elem`` to ``new_loc``."""
+        partners = t.load(fanout, elem * _FANOUT + fidx)
+        ploc = t.load(locations, partners)
+        old_loc = int(t.load(locations, elem))
+        t.alu(10 * _FANOUT)
+        d = 0.0
+        for pl in ploc:
+            d += _wire_cost(new_loc, int(pl), side)
+            d -= _wire_cost(old_loc, int(pl), side)
+        return d
+
+    def anneal(t, temperature: float):
+        rng = make_rng("canneal-swaps", t.tid, temperature)
+        accepted = 0
+        for _ in range(p["swaps_per_thread"]):
+            a = int(rng.integers(0, n))
+            b = int(rng.integers(0, n))
+            if a == b:
+                continue
+            loc_a = int(t.load(locations, a))
+            loc_b = int(t.load(locations, b))
+            delta = delta_for(t, a, loc_b) + delta_for(t, b, loc_a)
+            t.branch(1)
+            threshold = temperature * float(rng.exponential(1.0))
+            if delta < threshold:
+                t.store(locations, a, loc_b)
+                t.store(locations, b, loc_a)
+                accepted += 1
+        return accepted
+
+    for step in range(p["temp_steps"]):
+        temperature = 2.0 * (0.5 ** step)
+        machine.parallel(anneal, temperature)
+    final_cost = _total_cost(fanout_h, locations.to_host(), side)
+    return initial_cost, final_cost, locations.to_host()
+
+
+def check_cpu(result, scale: SimScale) -> None:
+    p = cpu_sizes(scale)
+    initial_cost, final_cost, locations = result
+    side = _grid_side(p["n"])
+    fanout_h, _ = netlist(p["n"], side, seed_tag="canneal")
+    # The returned cost must be consistent with the returned placement,
+    # and annealing must have improved the placement substantially.
+    recomputed = _total_cost(fanout_h, locations, side)
+    np.testing.assert_allclose(final_cost, recomputed, rtol=1e-12)
+    if final_cost > 0.95 * initial_cost:
+        raise AssertionError(
+            f"annealing improved cost only {initial_cost:.0f} -> {final_cost:.0f}"
+        )
+    if np.unique(locations).size != locations.size:
+        raise AssertionError("placement lost its permutation property")
+
+
+register(WorkloadDef(META, cpu_fn=cpu_run, check_cpu=check_cpu))

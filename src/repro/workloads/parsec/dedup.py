@@ -1,0 +1,183 @@
+"""Dedup (Parsec) — enterprise storage.
+
+Paper (Table V) problem size: 184 MB stream.
+
+The pipelined compression kernel: the stream is (1) chunked at
+rolling-hash boundaries, (2) fingerprinted, (3) deduplicated against a
+hash table, and (4) unique chunks are compressed (RLE here).  Stages are
+assigned to *different threads* communicating through shared queues —
+the software-pipelining structure the paper singles out as hard to port
+to GPUs (Section V-B) — so consumer threads read producer threads'
+writes, giving Dedup strong producer-consumer sharing (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.cpusim import Machine
+from repro.inputs.misc import dedup_stream
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="dedup",
+    suite="parsec",
+    dwarf="Pipeline",
+    domain="Enterprise Storage",
+    paper_size="184 MB",
+    description="Chunk/fingerprint/dedup/compress pipeline over a stream",
+)
+
+_AVG_CHUNK = 256       # rolling-hash boundary target
+_WINDOW = 8
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    n = {SimScale.TINY: 32768, SimScale.SMALL: 131072,
+         SimScale.MEDIUM: 524288}[scale]
+    return {"n_bytes": n}
+
+
+def _boundaries(data: np.ndarray) -> np.ndarray:
+    """Content-defined chunk boundaries via a rolling sum hash."""
+    kernel = np.ones(_WINDOW, dtype=np.int64)
+    rolled = np.convolve(data.astype(np.int64), kernel, mode="valid")
+    hits = np.where(rolled % _AVG_CHUNK == 0)[0] + _WINDOW
+    edges = [0]
+    for h in hits:
+        if h - edges[-1] >= 64:
+            edges.append(int(h))
+    if edges[-1] != data.size:
+        edges.append(data.size)
+    return np.array(edges, dtype=np.int64)
+
+
+def _fingerprint(chunk: np.ndarray) -> int:
+    """FNV-1a over the chunk bytes."""
+    h = 0xCBF29CE484222325
+    for b in chunk.tolist():
+        h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def _rle(chunk: np.ndarray) -> List[Tuple[int, int]]:
+    out = []
+    run_val = int(chunk[0])
+    run_len = 1
+    for b in chunk[1:].tolist():
+        if b == run_val and run_len < 255:
+            run_len += 1
+        else:
+            out.append((run_val, run_len))
+            run_val, run_len = b, 1
+    out.append((run_val, run_len))
+    return out
+
+
+def reference(p: dict):
+    """(n_chunks, n_unique, reconstructed==original) without instrumentation."""
+    data = dedup_stream(p["n_bytes"], seed_tag="dedup")
+    edges = _boundaries(data)
+    seen = {}
+    refs = []
+    for i in range(edges.size - 1):
+        chunk = data[edges[i]:edges[i + 1]]
+        fp = _fingerprint(chunk)
+        if fp not in seen:
+            seen[fp] = chunk
+        refs.append(fp)
+    return len(refs), len(seen)
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL):
+    p = cpu_sizes(scale)
+    data_h = dedup_stream(p["n_bytes"], seed_tag="dedup")
+    edges = _boundaries(data_h)
+    n_chunks = edges.size - 1
+    data = machine.array(data_h, name="stream")
+    fingerprints = machine.alloc(n_chunks, dtype=np.int64, name="fingerprints")
+    is_unique = machine.alloc(n_chunks, dtype=np.int8, name="is_unique")
+    compressed_len = machine.alloc(n_chunks, dtype=np.int64, name="compressed")
+    # Hash table as an open bucket array (power-of-two size).
+    table_size = 1
+    while table_size < 4 * n_chunks:
+        table_size *= 2
+    table = machine.alloc(table_size, dtype=np.int64, name="hash_table")
+    table.data[:] = -1
+
+    nt = machine.n_threads
+    # Pipeline-stage assignment: earlier tids produce, later tids consume.
+    # (Threads run in tid order within a region; queues are the shared
+    # fingerprint/uniqueness arrays.)
+    def pipeline(t):
+        if t.tid < nt // 2:
+            # Stage 1+2: chunk fingerprinting (split among first half).
+            for c in range(t.tid, n_chunks, nt // 2):
+                lo, hi = int(edges[c]), int(edges[c + 1])
+                chunk = t.load(data, np.arange(lo, hi))
+                t.alu(3 * (hi - lo))
+                fp = _fingerprint(chunk)
+                t.store(fingerprints, c, np.int64(fp & 0x7FFFFFFFFFFFFFFF))
+        elif t.tid < nt // 2 + nt // 4:
+            # Stage 3: dedup lookup/insert over the shared table.
+            stride = max(1, nt // 4)
+            for c in range((t.tid - nt // 2), n_chunks, stride):
+                fp = int(t.load(fingerprints, c))
+                slot = fp % table_size
+                t.branch(1)
+                while True:
+                    cur = int(t.load(table, slot))
+                    t.branch(1)
+                    if cur == -1:
+                        t.store(table, slot, fp)
+                        t.store(is_unique, c, 1)
+                        break
+                    if cur == fp:
+                        t.store(is_unique, c, 0)
+                        break
+                    slot = (slot + 1) % table_size
+        else:
+            # Stage 4: compress unique chunks.
+            stride = max(1, nt - nt // 2 - nt // 4)
+            for c in range((t.tid - nt // 2 - nt // 4), n_chunks, stride):
+                t.branch(1)
+                if int(t.load(is_unique, c)) == 0:
+                    t.store(compressed_len, c, 0)
+                    continue
+                lo, hi = int(edges[c]), int(edges[c + 1])
+                chunk = t.load(data, np.arange(lo, hi))
+                t.alu(4 * (hi - lo))
+                t.branch(hi - lo)
+                t.store(compressed_len, c, len(_rle(chunk)))
+
+    machine.parallel(pipeline)
+    return (n_chunks, int(is_unique.data.sum()),
+            fingerprints.to_host(), is_unique.to_host())
+
+
+def check_cpu(result, scale: SimScale) -> None:
+    p = cpu_sizes(scale)
+    n_chunks, n_unique, fingerprints, is_unique = result
+    ref_chunks, ref_unique = reference(p)
+    if n_chunks != ref_chunks:
+        raise AssertionError(f"chunk count {n_chunks} != {ref_chunks}")
+    if n_unique != ref_unique:
+        raise AssertionError(f"unique count {n_unique} != {ref_unique}")
+    # Exactly one chunk per distinct fingerprint is marked unique (the
+    # pipeline's dedup stage processes chunks in thread-interleaved
+    # order, so *which* occurrence wins is schedule-dependent, as in the
+    # lock-free original).
+    from collections import Counter
+    unique_count = Counter()
+    for c in range(n_chunks):
+        if is_unique[c]:
+            unique_count[int(fingerprints[c])] += 1
+    distinct = len(set(int(f) for f in fingerprints))
+    if len(unique_count) != distinct or any(v != 1 for v in unique_count.values()):
+        raise AssertionError("dedup stage did not keep exactly one copy per chunk")
+
+
+register(WorkloadDef(META, cpu_fn=cpu_run, check_cpu=check_cpu))

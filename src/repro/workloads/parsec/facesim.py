@@ -1,0 +1,138 @@
+"""Facesim (Parsec) — physical animation.
+
+Paper (Table V) problem size: 1 frame, 372,126 tetrahedra.
+
+Simulates deformable flesh as a spring lattice (the PhysBAM face model's
+force loop): per iteration, every spring's elastic force is evaluated
+from its endpoints' positions and accumulated per vertex, then vertices
+are integrated.  Vertices are partitioned across threads; springs are
+owned by their lower endpoint's partition, so forces on boundary
+vertices read the neighbor partition's positions — Facesim's moderate,
+boundary-limited sharing (Fig. 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.cpusim import Machine
+from repro.inputs.meshes import tet_spring_mesh
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="facesim",
+    suite="parsec",
+    dwarf="Unstructured Grid",
+    domain="Animation",
+    paper_size="1 frame, 372,126 tetrahedra",
+    description="Spring-lattice flesh simulation with partitioned vertices",
+)
+
+_STIFF = 8.0
+_DAMP = 0.2
+_DT = 0.01
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    e = {SimScale.TINY: 8, SimScale.SMALL: 14, SimScale.MEDIUM: 22}[scale]
+    return {"nx": e, "ny": e, "nz": e, "iters": 3}
+
+
+def _inputs(p: dict):
+    positions, edges = tet_spring_mesh(p["nx"], p["ny"], p["nz"],
+                                       seed_tag="facesim")
+    rest = np.linalg.norm(
+        positions[edges[:, 0]] - positions[edges[:, 1]], axis=1
+    )
+    velocities = np.zeros_like(positions)
+    return positions, velocities, edges, rest
+
+
+def _forces_numpy(pos, edges, rest):
+    delta = pos[edges[:, 1]] - pos[edges[:, 0]]
+    length = np.linalg.norm(delta, axis=1)
+    f = _STIFF * (length - rest)[:, None] * delta / (length[:, None] + 1e-12)
+    out = np.zeros_like(pos)
+    np.add.at(out, edges[:, 0], f)
+    np.add.at(out, edges[:, 1], -f)
+    return out
+
+
+def reference(p: dict) -> np.ndarray:
+    pos, vel, edges, rest = _inputs(p)
+    pos = pos.copy()
+    vel = vel.copy()
+    for _ in range(p["iters"]):
+        f = _forces_numpy(pos, edges, rest)
+        vel = (1.0 - _DAMP) * vel + _DT * f
+        pos = pos + _DT * vel
+    return pos
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = cpu_sizes(scale)
+    pos_h, vel_h, edges_h, rest_h = _inputs(p)
+    nv = pos_h.shape[0]
+    ne = edges_h.shape[0]
+    pos = machine.array(pos_h.reshape(-1), name="positions")
+    vel = machine.array(vel_h.reshape(-1), name="velocities")
+    forces = machine.alloc(nv * 3, name="forces")
+    edges = machine.array(edges_h.reshape(-1), name="edges")
+    rest = machine.array(rest_h, name="rest_lengths")
+    three = np.arange(3)
+
+    # Springs owned by the partition of their lower endpoint.
+    owner_chunks = [
+        np.where((edges_h[:, 0] * machine.n_threads) // nv == tid)[0]
+        for tid in range(machine.n_threads)
+    ]
+
+    def zero_forces(t):
+        for i in t.chunk(nv * 3):
+            t.store(forces, i, 0.0)
+
+    def springs(t):
+        batch = 64
+        mine = owner_chunks[t.tid]
+        for lo in range(0, mine.size, batch):
+            eids = mine[lo:lo + batch]
+            pair = t.load(edges, (eids[:, None] * 2 + np.arange(2)).reshape(-1))
+            pair = pair.reshape(-1, 2).astype(np.int64)
+            pa = t.load(pos, (pair[:, 0][:, None] * 3 + three).reshape(-1)).reshape(-1, 3)
+            pb = t.load(pos, (pair[:, 1][:, None] * 3 + three).reshape(-1)).reshape(-1, 3)
+            r = t.load(rest, eids)
+            t.alu(14 * eids.size)
+            delta = pb - pa
+            length = np.linalg.norm(delta, axis=1)
+            f = _STIFF * (length - r)[:, None] * delta / (length[:, None] + 1e-12)
+            # Scatter-accumulate (read-modify-write) on both endpoints.
+            for k, e in enumerate(eids):
+                ia = pair[k, 0] * 3 + three
+                ib = pair[k, 1] * 3 + three
+                t.store(forces, ia, t.load(forces, ia) + f[k])
+                t.store(forces, ib, t.load(forces, ib) - f[k])
+
+    def integrate(t):
+        for v in t.chunk(nv):
+            idx = v * 3 + three
+            fv = t.load(forces, idx)
+            vv = t.load(vel, idx)
+            pv = t.load(pos, idx)
+            t.alu(9)
+            vv = (1.0 - _DAMP) * vv + _DT * fv
+            t.store(vel, idx, vv)
+            t.store(pos, idx, pv + _DT * vv)
+
+    for _ in range(p["iters"]):
+        machine.parallel(zero_forces)
+        machine.parallel(springs)
+        machine.parallel(integrate)
+    return pos.to_host().reshape(nv, 3)
+
+
+def check_cpu(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_allclose(result, reference(cpu_sizes(scale)), rtol=1e-9, atol=1e-12)
+
+
+register(WorkloadDef(META, cpu_fn=cpu_run, check_cpu=check_cpu))

@@ -1,0 +1,122 @@
+"""Ferret (Parsec) — content-based similarity search.
+
+Paper (Table V) problem size: 256 queries, 34,973 images.
+
+The toolkit's pipeline: image load -> segmentation -> feature extraction
+-> index query -> ranking, each stage on its own threads with queue
+handoff (the software-pipelining model the paper contrasts with GPU
+porting).  The index query scans a large read-shared feature database
+per query, which dominates the working set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.cpusim import Machine
+from repro.inputs.images import photo
+from repro.inputs.misc import feature_database
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="ferret",
+    suite="parsec",
+    dwarf="Pipeline",
+    domain="Similarity Search",
+    paper_size="256 queries, 34,973 images",
+    description="Segmentation/feature/query/rank similarity-search pipeline",
+)
+
+_DIMS = 32
+_TOPK = 8
+_IMG = 32
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    nq, db = {
+        SimScale.TINY: (8, 512),
+        SimScale.SMALL: (16, 2048),
+        SimScale.MEDIUM: (64, 8192),
+    }[scale]
+    return {"n_queries": nq, "db_size": db}
+
+
+def _query_images(p: dict) -> np.ndarray:
+    return np.stack([
+        photo(_IMG, _IMG, seed_tag=f"ferret-q{i}") for i in range(p["n_queries"])
+    ])
+
+
+def _extract(img: np.ndarray) -> np.ndarray:
+    """Segmentation (threshold) + per-segment histogram feature."""
+    mask = img > img.mean()
+    feat = np.empty(_DIMS)
+    hi = img[mask]
+    lo = img[~mask]
+    feat[: _DIMS // 2], _ = np.histogram(hi, bins=_DIMS // 2, range=(0.0, 1.0))
+    feat[_DIMS // 2 :], _ = np.histogram(lo, bins=_DIMS // 2, range=(0.0, 1.0))
+    norm = np.linalg.norm(feat)
+    return feat / (norm + 1e-12)
+
+
+def reference(p: dict) -> np.ndarray:
+    """Top-k database ids per query (brute force)."""
+    images = _query_images(p)
+    db = feature_database(p["db_size"], _DIMS)
+    out = np.empty((p["n_queries"], _TOPK), dtype=np.int64)
+    for q in range(p["n_queries"]):
+        feat = _extract(images[q])
+        d = ((db - feat) ** 2).sum(axis=1)
+        out[q] = np.argsort(d, kind="stable")[:_TOPK]
+    return out
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = cpu_sizes(scale)
+    nq, ndb = p["n_queries"], p["db_size"]
+    images_h = _query_images(p)
+    db_h = feature_database(ndb, _DIMS)
+    images = machine.array(images_h.reshape(nq, -1), name="query_images")
+    db = machine.array(db_h.reshape(-1), name="feature_db")
+    feats = machine.alloc((nq, _DIMS), name="features")
+    ranks = machine.alloc((nq, _TOPK), dtype=np.int64, name="ranks")
+    nt = machine.n_threads
+    px = np.arange(_IMG * _IMG)
+    didx = np.arange(_DIMS)
+
+    def pipeline(t):
+        if t.tid < nt // 2:
+            # Stages 1-3: load, segment, extract features.
+            for q in range(t.tid, nq, nt // 2):
+                img = t.load(images, q * _IMG * _IMG + px).reshape(_IMG, _IMG)
+                t.alu(6 * px.size)
+                t.branch(px.size)
+                feat = _extract(img)
+                t.store(feats, q * _DIMS + didx, feat)
+        else:
+            # Stages 4-5: index scan + rank (consumes stage-3 output).
+            stride = nt - nt // 2
+            for q in range(t.tid - nt // 2, nq, stride):
+                feat = t.load(feats, q * _DIMS + didx)
+                d = np.empty(ndb)
+                for base in range(0, ndb, 64):
+                    hi = min(base + 64, ndb)
+                    rows = t.load(db, np.arange(base * _DIMS, hi * _DIMS))
+                    t.alu(3 * (hi - base) * _DIMS)
+                    d[base:hi] = (
+                        (rows.reshape(-1, _DIMS) - feat) ** 2
+                    ).sum(axis=1)
+                t.branch(ndb)
+                t.store(ranks, q * _TOPK + np.arange(_TOPK),
+                        np.argsort(d, kind="stable")[:_TOPK])
+
+    machine.parallel(pipeline)
+    return ranks.to_host().astype(np.int64)
+
+
+def check_cpu(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_array_equal(result, reference(cpu_sizes(scale)))
+
+
+register(WorkloadDef(META, cpu_fn=cpu_run, check_cpu=check_cpu))

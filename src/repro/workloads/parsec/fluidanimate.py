@@ -1,0 +1,194 @@
+"""Fluidanimate (Parsec) — physical animation.
+
+Paper (Table V) problem size: 5 frames, 300,000 particles.
+
+Smoothed-particle-hydrodynamics fluid: particles are binned into a
+uniform grid; densities and pairwise forces are computed over each
+cell's 27-neighborhood; then positions integrate under gravity.  The
+spatial grid is partitioned across threads in slabs, so neighbor lookups
+at slab boundaries read other threads' particles — Fluidanimate's
+boundary-sharing profile, clustered near the stencil workloads in
+Figure 6 (the paper notes SRAD and Fluidanimate are "quite similar").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.cpusim import Machine
+from repro.inputs.points import particle_box
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="fluidanimate",
+    suite="parsec",
+    dwarf="Structured Grid / N-body",
+    domain="Animation",
+    paper_size="5 frames, 300,000 particles",
+    description="SPH fluid with slab-partitioned uniform grid",
+)
+
+_H = 0.1           # smoothing radius = cell size
+_MASS = 1.0
+_STIFF = 2.0
+_REST = 150.0
+_DT = 0.002
+_GRAV = -9.8
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    n = {SimScale.TINY: 512, SimScale.SMALL: 2048, SimScale.MEDIUM: 8192}[scale]
+    return {"n": n, "frames": 2}
+
+
+def _inputs(p: dict):
+    pos, vel = particle_box(p["n"], box=1.0, seed_tag="fluidanimate")
+    return pos, vel
+
+
+def _cells(pos: np.ndarray):
+    ncell = int(1.0 / _H)
+    cid = np.clip((pos / _H).astype(np.int64), 0, ncell - 1)
+    flat = (cid[:, 0] * ncell + cid[:, 1]) * ncell + cid[:, 2]
+    return cid, flat, ncell
+
+
+def _step_numpy(pos, vel):
+    """One SPH step (density + pressure force + gravity + integrate)."""
+    n = pos.shape[0]
+    cid, flat, ncell = _cells(pos)
+    buckets = {}
+    for i in range(n):
+        buckets.setdefault(int(flat[i]), []).append(i)
+    dens = np.zeros(n)
+    for i in range(n):
+        cx, cy, cz = cid[i]
+        acc = 0.0
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    nx, ny, nz = cx + dx, cy + dy, cz + dz
+                    if not (0 <= nx < ncell and 0 <= ny < ncell and 0 <= nz < ncell):
+                        continue
+                    key = (nx * ncell + ny) * ncell + nz
+                    for j in buckets.get(int(key), ()):
+                        r2 = ((pos[i] - pos[j]) ** 2).sum()
+                        if r2 < _H * _H:
+                            acc += _MASS * (_H * _H - r2) ** 3
+                    # endfor j
+        dens[i] = acc
+    pressure = _STIFF * (dens - _REST / 1e5)
+    force = np.zeros_like(pos)
+    for i in range(n):
+        cx, cy, cz = cid[i]
+        f = np.zeros(3)
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    nx, ny, nz = cx + dx, cy + dy, cz + dz
+                    if not (0 <= nx < ncell and 0 <= ny < ncell and 0 <= nz < ncell):
+                        continue
+                    key = (nx * ncell + ny) * ncell + nz
+                    for j in buckets.get(int(key), ()):
+                        if j == i:
+                            continue
+                        d = pos[i] - pos[j]
+                        r2 = (d ** 2).sum()
+                        if 1e-12 < r2 < _H * _H:
+                            f += (pressure[i] + pressure[j]) * d * (_H * _H - r2)
+        force[i] = f
+    vel = vel + _DT * (force + np.array([0.0, _GRAV, 0.0]))
+    pos = np.clip(pos + _DT * vel, 0.0, 1.0 - 1e-9)
+    return pos, vel
+
+
+def reference(p: dict) -> np.ndarray:
+    pos, vel = _inputs(p)
+    for _ in range(p["frames"]):
+        pos, vel = _step_numpy(pos, vel)
+    return pos
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = cpu_sizes(scale)
+    pos_h, vel_h = _inputs(p)
+    n = p["n"]
+    pos = machine.array(pos_h.reshape(-1), name="positions")
+    vel = machine.array(vel_h.reshape(-1), name="velocities")
+    dens = machine.alloc(n, name="density")
+    force = machine.alloc(n * 3, name="force")
+    three = np.arange(3)
+
+    for _ in range(p["frames"]):
+        pos_now = pos.to_host().reshape(n, 3)
+        cid, flat, ncell = _cells(pos_now)
+        buckets = {}
+        for i in range(n):
+            buckets.setdefault(int(flat[i]), []).append(i)
+        order = np.argsort(cid[:, 0], kind="stable")  # slab partition
+
+        def neighbors_of(i):
+            cx, cy, cz = cid[i]
+            out = []
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    for dz in (-1, 0, 1):
+                        nx, ny, nz = cx + dx, cy + dy, cz + dz
+                        if 0 <= nx < ncell and 0 <= ny < ncell and 0 <= nz < ncell:
+                            out.extend(buckets.get(int((nx * ncell + ny) * ncell + nz), ()))
+            return np.array(out, dtype=np.int64)
+
+        def density(t):
+            for k in t.chunk(n):
+                i = int(order[k])
+                nbrs = neighbors_of(i)
+                pi = t.load(pos, i * 3 + three)
+                pj = t.load(pos, (nbrs[:, None] * 3 + three).reshape(-1)).reshape(-1, 3)
+                t.alu(10 * nbrs.size)
+                t.branch(nbrs.size)
+                r2 = ((pi - pj) ** 2).sum(axis=1)
+                close = r2 < _H * _H
+                t.store(dens, i, (_MASS * (_H * _H - r2[close]) ** 3).sum())
+
+        def forces(t):
+            for k in t.chunk(n):
+                i = int(order[k])
+                nbrs = neighbors_of(i)
+                nbrs = nbrs[nbrs != i]
+                pi = t.load(pos, i * 3 + three)
+                di = float(t.load(dens, i))
+                pj = t.load(pos, (nbrs[:, None] * 3 + three).reshape(-1)).reshape(-1, 3)
+                dj = t.load(dens, nbrs)
+                t.alu(16 * nbrs.size)
+                t.branch(nbrs.size)
+                d = pi - pj
+                r2 = (d ** 2).sum(axis=1)
+                close = (r2 > 1e-12) & (r2 < _H * _H)
+                pres_i = _STIFF * (di - _REST / 1e5)
+                pres_j = _STIFF * (dj - _REST / 1e5)
+                f = ((pres_i + pres_j[close])[:, None] * d[close]
+                     * (_H * _H - r2[close])[:, None]).sum(axis=0)
+                t.store(force, i * 3 + three, f)
+
+        def integrate(t):
+            for i in t.chunk(n):
+                fv = t.load(force, i * 3 + three)
+                vv = t.load(vel, i * 3 + three)
+                pv = t.load(pos, i * 3 + three)
+                t.alu(12)
+                vv = vv + _DT * (fv + np.array([0.0, _GRAV, 0.0]))
+                t.store(vel, i * 3 + three, vv)
+                t.store(pos, i * 3 + three, np.clip(pv + _DT * vv, 0.0, 1.0 - 1e-9))
+
+        machine.parallel(density)
+        machine.parallel(forces)
+        machine.parallel(integrate)
+    return pos.to_host().reshape(n, 3)
+
+
+def check_cpu(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_allclose(result, reference(cpu_sizes(scale)), rtol=1e-6, atol=1e-9)
+
+
+register(WorkloadDef(META, cpu_fn=cpu_run, check_cpu=check_cpu))

@@ -1,0 +1,180 @@
+"""Freqmine (Parsec) — data mining.
+
+Paper (Table V) problem size: 990,000 transactions.
+
+FP-growth frequent-itemset mining: a parallel scan counts item supports,
+an FP-tree of frequency-ordered transaction prefixes is built with
+parent/header-link pointers, and the mining phase walks each frequent
+item's node links up the tree to count frequent pairs.  The
+pointer-chasing tree walks over a heap-shaped node array are what give
+Freqmine its irregular access pattern and large footprint.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.cpusim import Machine
+from repro.inputs.misc import transaction_db
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="freqmine",
+    suite="parsec",
+    dwarf="MapReduce / Tree Traversal",
+    domain="Data Mining",
+    paper_size="990,000 transactions",
+    description="FP-growth: tree build + header-link pattern mining",
+)
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    nt, ni = {
+        SimScale.TINY: (512, 64),
+        SimScale.SMALL: (2048, 128),
+        SimScale.MEDIUM: (8192, 256),
+    }[scale]
+    return {"n_transactions": nt, "n_items": ni, "minsup": max(4, nt // 64)}
+
+
+def _inputs(p: dict) -> List[np.ndarray]:
+    return transaction_db(p["n_transactions"], p["n_items"], avg_len=8,
+                          seed_tag="freqmine")
+
+
+def reference(p: dict) -> Dict[Tuple[int, int], int]:
+    """Brute-force frequent-pair supports (independent of the FP-tree)."""
+    db = _inputs(p)
+    counts = Counter()
+    for txn in db:
+        items = txn.tolist()
+        for i in range(len(items)):
+            for j in range(i + 1, len(items)):
+                a, b = items[i], items[j]
+                counts[(min(a, b), max(a, b))] += 1
+    return {k: v for k, v in counts.items() if v >= p["minsup"]}
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL):
+    p = cpu_sizes(scale)
+    db = _inputs(p)
+    n_items = p["n_items"]
+    minsup = p["minsup"]
+    supports = machine.alloc(n_items, dtype=np.int64, name="supports")
+    partial = machine.alloc((machine.n_threads, n_items), dtype=np.int64,
+                            name="partial_supports")
+
+    def count_items(t):
+        local = np.zeros(n_items, dtype=np.int64)
+        for i in t.chunk(len(db)):
+            txn = db[i]
+            t.alu(txn.size)
+            local[txn] += 1
+        t.store(partial, t.tid * n_items + np.arange(n_items), local)
+
+    def reduce_counts(t):
+        all_parts = t.load(partial, np.arange(machine.n_threads * n_items))
+        t.alu(all_parts.size)
+        t.store(supports, np.arange(n_items),
+                all_parts.reshape(machine.n_threads, n_items).sum(axis=0))
+
+    machine.parallel(count_items)
+    machine.serial(reduce_counts)
+
+    support_h = supports.to_host()
+    frequent = np.where(support_h >= minsup)[0]
+    rank = {int(item): r for r, item in
+            enumerate(frequent[np.argsort(-support_h[frequent], kind="stable")])}
+
+    # FP-tree node arrays: item, parent, count, and header chains.
+    max_nodes = 1 + sum(min(len(txn), len(rank)) for txn in db)
+    node_item = machine.alloc(max_nodes, dtype=np.int64, name="node_item")
+    node_parent = machine.alloc(max_nodes, dtype=np.int64, name="node_parent")
+    node_count = machine.alloc(max_nodes, dtype=np.int64, name="node_count")
+    node_next = machine.alloc(max_nodes, dtype=np.int64, name="node_next")
+    header = machine.alloc(n_items, dtype=np.int64, name="header")
+    header.data[:] = -1
+    node_item.data[0] = -1
+
+    def build_tree(t):
+        """Serial FP-tree construction (Parsec builds per-thread trees and
+        merges; a single instrumented build keeps the same access shape)."""
+        n_nodes = 1
+        children: Dict[Tuple[int, int], int] = {}
+        for txn in db:
+            ranked = sorted((item for item in txn.tolist() if item in rank),
+                            key=lambda it: rank[it])
+            cur = 0
+            for item in ranked:
+                t.branch(1)
+                key = (cur, item)
+                nxt = children.get(key)
+                if nxt is None:
+                    nxt = n_nodes
+                    n_nodes += 1
+                    children[key] = nxt
+                    t.store(node_item, nxt, item)
+                    t.store(node_parent, nxt, cur)
+                    t.store(node_count, nxt, 0)
+                    old_head = int(t.load(header, item))
+                    t.store(node_next, nxt, old_head)
+                    t.store(header, item, nxt)
+                t.store(node_count, nxt, int(t.load(node_count, nxt)) + 1)
+                cur = nxt
+        return n_nodes
+
+    machine.serial(build_tree)
+
+    pair_support: Dict[Tuple[int, int], int] = {}
+
+    def mine(t):
+        """Walk each owned item's header chain; count (item, ancestor)."""
+        local: Dict[Tuple[int, int], int] = {}
+        items = [it for it in rank if rank[it] % t.nthreads == t.tid]
+        for item in items:
+            node = int(t.load(header, item))
+            while node != -1:
+                t.branch(1)
+                cnt = int(t.load(node_count, node))
+                anc = int(t.load(node_parent, node))
+                while anc != 0:
+                    t.branch(1)
+                    anc_item = int(t.load(node_item, anc))
+                    key = (min(item, anc_item), max(item, anc_item))
+                    local[key] = local.get(key, 0) + cnt
+                    anc = int(t.load(node_parent, anc))
+                node = int(t.load(node_next, node))
+        return local
+
+    results = machine.parallel(mine)
+    for local in results:
+        for k, v in local.items():
+            pair_support[k] = pair_support.get(k, 0) + v
+    return {k: v for k, v in pair_support.items() if v >= minsup}
+
+
+def check_cpu(result, scale: SimScale) -> None:
+    p = cpu_sizes(scale)
+    expected = reference(p)
+    # FP-tree mining only sees pairs of *frequent* items; brute force
+    # counts all pairs.  Restrict the reference accordingly.
+    db = _inputs(p)
+    supports = Counter()
+    for txn in db:
+        supports.update(txn.tolist())
+    frequent = {i for i, c in supports.items() if c >= p["minsup"]}
+    expected = {k: v for k, v in expected.items()
+                if k[0] in frequent and k[1] in frequent}
+    if result != expected:
+        missing = set(expected) - set(result)
+        extra = set(result) - set(expected)
+        raise AssertionError(
+            f"frequent pairs differ: {len(missing)} missing, {len(extra)} extra"
+        )
+
+
+register(WorkloadDef(META, cpu_fn=cpu_run, check_cpu=check_cpu))

@@ -1,0 +1,376 @@
+"""Raytrace (Parsec 2.1) — rendering.
+
+Renders a sphere scene through a median-split BVH: per pixel, a primary
+ray walks the BVH with an explicit stack, finds the nearest hit, and
+shades with a Lambertian term.  Rows are distributed cyclically over
+threads; the BVH and scene are read-shared.  The independent self-check
+renders the same scene by brute-force intersection against every sphere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.common.rng import make_rng
+from repro.cpusim import Machine
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="raytrace",
+    suite="parsec",
+    dwarf="Graphics / Traversal",
+    domain="Rendering",
+    paper_size="1920x1080 frame (sim-large)",
+    description="BVH ray casting of a sphere scene, row-cyclic threads",
+)
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    res, ns = {
+        SimScale.TINY: (40, 32),
+        SimScale.SMALL: (64, 64),
+        SimScale.MEDIUM: (128, 128),
+    }[scale]
+    return {"h": res, "w": res, "n_spheres": ns}
+
+
+def _scene(p: dict):
+    rng = make_rng("raytrace-scene", p["n_spheres"])
+    centers = rng.uniform(-4.0, 4.0, (p["n_spheres"], 3))
+    centers[:, 2] = rng.uniform(6.0, 14.0, p["n_spheres"])
+    radii = rng.uniform(0.3, 0.9, p["n_spheres"])
+    albedo = rng.uniform(0.2, 1.0, p["n_spheres"])
+    return centers, radii, albedo
+
+
+@dataclasses.dataclass
+class _BVH:
+    """Flat BVH: internal nodes reference children; leaves hold spheres."""
+
+    bbox_min: np.ndarray    # (nodes, 3)
+    bbox_max: np.ndarray    # (nodes, 3)
+    left: np.ndarray        # child id or -1
+    right: np.ndarray
+    first: np.ndarray       # leaf: first sphere index into `order`
+    count: np.ndarray       # leaf: number of spheres (0 for internal)
+    order: np.ndarray       # sphere permutation
+
+
+def build_bvh(centers: np.ndarray, radii: np.ndarray, leaf_size: int = 4) -> _BVH:
+    n = centers.shape[0]
+    order = np.arange(n)
+    nodes: List[dict] = []
+
+    def make(lo: int, hi: int) -> int:
+        idx = order[lo:hi]
+        mins = (centers[idx] - radii[idx, None]).min(axis=0)
+        maxs = (centers[idx] + radii[idx, None]).max(axis=0)
+        node = {"min": mins, "max": maxs, "left": -1, "right": -1,
+                "first": lo, "count": 0}
+        me = len(nodes)
+        nodes.append(node)
+        if hi - lo <= leaf_size:
+            node["count"] = hi - lo
+            return me
+        axis = int(np.argmax(maxs - mins))
+        key = centers[idx, axis]
+        local = np.argsort(key, kind="stable")
+        order[lo:hi] = idx[local]
+        mid = (lo + hi) // 2
+        node["left"] = make(lo, mid)
+        node["right"] = make(mid, hi)
+        return me
+
+    make(0, n)
+    return _BVH(
+        bbox_min=np.array([nd["min"] for nd in nodes]),
+        bbox_max=np.array([nd["max"] for nd in nodes]),
+        left=np.array([nd["left"] for nd in nodes], dtype=np.int64),
+        right=np.array([nd["right"] for nd in nodes], dtype=np.int64),
+        first=np.array([nd["first"] for nd in nodes], dtype=np.int64),
+        count=np.array([nd["count"] for nd in nodes], dtype=np.int64),
+        order=order,
+    )
+
+
+def _ray_dirs(h: int, w: int) -> np.ndarray:
+    ys = (np.arange(h) / h - 0.5)
+    xs = (np.arange(w) / w - 0.5)
+    d = np.empty((h, w, 3))
+    d[..., 0] = xs[None, :]
+    d[..., 1] = ys[:, None]
+    d[..., 2] = 1.0
+    return d / np.linalg.norm(d, axis=2, keepdims=True)
+
+
+def _sphere_hit(center, radius, direction) -> float:
+    """Nearest positive t of a ray from the origin, or inf."""
+    b = -2.0 * float(np.dot(direction, center))
+    c = float(np.dot(center, center)) - radius * radius
+    disc = b * b - 4.0 * c
+    if disc < 0.0:
+        return np.inf
+    root = np.sqrt(disc)
+    t0 = (-b - root) / 2.0
+    if t0 > 1e-6:
+        return t0
+    t1 = (-b + root) / 2.0
+    return t1 if t1 > 1e-6 else np.inf
+
+
+def reference(p: dict) -> np.ndarray:
+    """Brute-force render (no BVH) — the independent check."""
+    centers, radii, albedo = _scene(p)
+    h, w = p["h"], p["w"]
+    dirs = _ray_dirs(h, w)
+    img = np.zeros((h, w))
+    light = np.array([0.5, -1.0, -0.25])
+    light = light / np.linalg.norm(light)
+    for y in range(h):
+        for x in range(w):
+            d = dirs[y, x]
+            best_t, best_s = np.inf, -1
+            for s in range(centers.shape[0]):
+                t = _sphere_hit(centers[s], radii[s], d)
+                if t < best_t:
+                    best_t, best_s = t, s
+            if best_s >= 0:
+                hit = best_t * d
+                normal = (hit - centers[best_s]) / radii[best_s]
+                img[y, x] = albedo[best_s] * max(0.0, -float(np.dot(normal, light)))
+    return img
+
+
+def _box_hit(bmin, bmax, inv_d) -> bool:
+    t0 = bmin * inv_d
+    t1 = bmax * inv_d
+    tmin = np.minimum(t0, t1).max()
+    tmax = np.maximum(t0, t1).min()
+    return tmax >= max(tmin, 0.0)
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = cpu_sizes(scale)
+    centers_h, radii_h, albedo_h = _scene(p)
+    bvh = build_bvh(centers_h, radii_h)
+    h, w = p["h"], p["w"]
+    dirs = _ray_dirs(h, w)
+    light = np.array([0.5, -1.0, -0.25])
+    light = light / np.linalg.norm(light)
+
+    centers = machine.array(centers_h.reshape(-1), name="centers")
+    radii = machine.array(radii_h, name="radii")
+    albedo = machine.array(albedo_h, name="albedo")
+    bmin = machine.array(bvh.bbox_min.reshape(-1), name="bbox_min")
+    bmax = machine.array(bvh.bbox_max.reshape(-1), name="bbox_max")
+    left = machine.array(bvh.left, name="left")
+    right = machine.array(bvh.right, name="right")
+    first = machine.array(bvh.first, name="first")
+    count = machine.array(bvh.count, name="count")
+    order = machine.array(bvh.order, name="order")
+    img = machine.alloc(h * w, name="image")
+    three = np.arange(3)
+
+    def trace_row(t, y):
+        for x in range(w):
+            d = dirs[y, x]
+            safe = np.where(np.abs(d) < 1e-12, 1e-12, d)
+            inv_d = 1.0 / safe
+            stack = [0]
+            best_t, best_s = np.inf, -1
+            while stack:
+                t.branch(1)
+                node = stack.pop()
+                nb_min = t.load(bmin, node * 3 + three)
+                nb_max = t.load(bmax, node * 3 + three)
+                t.alu(14)
+                if not _box_hit(nb_min - 0.0, nb_max - 0.0, inv_d):
+                    continue
+                cnt = int(t.load(count, node))
+                if cnt > 0:
+                    lo = int(t.load(first, node))
+                    sids = t.load(order, np.arange(lo, lo + cnt))
+                    for s in sids:
+                        c = t.load(centers, s * 3 + three)
+                        r = float(t.load(radii, int(s)))
+                        t.alu(18)
+                        t.branch(1)
+                        th = _sphere_hit(c, r, d)
+                        if th < best_t:
+                            best_t, best_s = th, int(s)
+                else:
+                    stack.append(int(t.load(left, node)))
+                    stack.append(int(t.load(right, node)))
+            if best_s >= 0:
+                hit = best_t * d
+                c = t.load(centers, best_s * 3 + three)
+                a = float(t.load(albedo, best_s))
+                t.alu(12)
+                normal = (hit - c) / radii_h[best_s]
+                t.store(img, y * w + x, a * max(0.0, -float(np.dot(normal, light))))
+
+    def worker(t):
+        for y in t.strided(h):
+            trace_row(t, y)
+
+    machine.parallel(worker)
+    return img.to_host().reshape(h, w)
+
+
+def check_cpu(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_allclose(result, reference(cpu_sizes(scale)), rtol=1e-8, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Experimental GPU port (Section V-B).  Raytrace is the *hard* case:
+# every ray walks its private BVH path with a per-lane traversal stack
+# (spilled to local memory), so warps diverge immediately — the port
+# "works" but exhibits MUMmer-like divergence and scattered access.
+# Not registered (Parsec stays CPU-only); used by ext_parsec_ports.
+# ----------------------------------------------------------------------
+_MAX_STACK = 16
+
+
+def _raytrace_kernel(ctx, bmin, bmax, left, right, first, count, order,
+                     const_centers, const_radii, const_albedo,
+                     stack, image, h, w, n_spheres, light):
+    pix = ctx.gtid
+    with ctx.masked(pix < h * w):
+        ctx.alu(16)   # ray setup: pixel -> direction (normalize incl. sqrt)
+        py = pix // w
+        px = pix % w
+        dx = (px / w - 0.5).astype(np.float64)
+        dy = (py / h - 0.5).astype(np.float64)
+        dz = np.ones(ctx.nthreads)
+        norm = np.sqrt(dx * dx + dy * dy + dz * dz)
+        dx, dy, dz = dx / norm, dy / norm, dz / norm
+        inv_x = 1.0 / np.where(np.abs(dx) < 1e-12, 1e-12, dx)
+        inv_y = 1.0 / np.where(np.abs(dy) < 1e-12, 1e-12, dy)
+        inv_z = 1.0 / np.where(np.abs(dz) < 1e-12, 1e-12, dz)
+
+        lane_base = ctx.tidx * _MAX_STACK
+        ctx.store(stack, lane_base, 0)          # push the root
+        sp = ctx.const(1, dtype=np.int64)
+        best_t = ctx.const(np.inf, dtype=np.float64)
+        best_s = ctx.const(-1, dtype=np.int64)
+
+        def still_walking():
+            return sp > 0
+
+        for _ in ctx.while_(still_walking):
+            ctx.alu(2)
+            sp = np.where(ctx.mask, sp - 1, sp)
+            node = ctx.load(stack, lane_base + np.maximum(sp, 0))
+            # Slab test against the node's bounding box.
+            bx0 = ctx.load(bmin, node * 3 + 0)
+            by0 = ctx.load(bmin, node * 3 + 1)
+            bz0 = ctx.load(bmin, node * 3 + 2)
+            bx1 = ctx.load(bmax, node * 3 + 0)
+            by1 = ctx.load(bmax, node * 3 + 1)
+            bz1 = ctx.load(bmax, node * 3 + 2)
+            ctx.alu(18)
+            tx0, tx1 = bx0 * inv_x, bx1 * inv_x
+            ty0, ty1 = by0 * inv_y, by1 * inv_y
+            tz0, tz1 = bz0 * inv_z, bz1 * inv_z
+            tmin = np.maximum(np.maximum(np.minimum(tx0, tx1),
+                                         np.minimum(ty0, ty1)),
+                              np.minimum(tz0, tz1))
+            tmax = np.minimum(np.minimum(np.maximum(tx0, tx1),
+                                         np.maximum(ty0, ty1)),
+                              np.maximum(tz0, tz1))
+            box_hit = tmax >= np.maximum(tmin, 0.0)
+            with ctx.masked(box_hit):
+                cnt = ctx.load(count, node)
+                is_leaf = cnt > 0
+                with ctx.masked(is_leaf):
+                    lo = ctx.load(first, node)
+                    for k in range(4):          # leaf_size = 4
+                        with ctx.masked(k < cnt):
+                            sid = ctx.load(order, np.minimum(lo + k,
+                                                             n_spheres - 1))
+                            cx = ctx.load(const_centers, sid * 3 + 0)
+                            cy = ctx.load(const_centers, sid * 3 + 1)
+                            cz = ctx.load(const_centers, sid * 3 + 2)
+                            rr = ctx.load(const_radii, sid)
+                            ctx.alu(20)         # quadratic intersection
+                            b = -2.0 * (dx * cx + dy * cy + dz * cz)
+                            c = cx * cx + cy * cy + cz * cz - rr * rr
+                            disc = b * b - 4.0 * c
+                            root = np.sqrt(np.maximum(disc, 0.0))
+                            t0 = (-b - root) / 2.0
+                            t1 = (-b + root) / 2.0
+                            t_hit = np.where(t0 > 1e-6, t0,
+                                             np.where(t1 > 1e-6, t1, np.inf))
+                            t_hit = np.where(disc >= 0.0, t_hit, np.inf)
+                            closer = t_hit < best_t
+                            upd = ctx.mask & closer
+                            best_t = np.where(upd, t_hit, best_t)
+                            best_s = np.where(upd, sid, best_s)
+                with ctx.masked(~is_leaf):
+                    lchild = ctx.load(left, node)
+                    rchild = ctx.load(right, node)
+                    ctx.alu(2)
+                    ctx.store(stack, lane_base + sp, lchild)
+                    sp = np.where(ctx.mask, sp + 1, sp)
+                    ctx.store(stack, lane_base + sp, rchild)
+                    sp = np.where(ctx.mask, sp + 1, sp)
+
+        # Lambertian shading of the nearest hit.
+        hit = best_s >= 0
+        with ctx.masked(hit):
+            sid = np.maximum(best_s, 0)
+            cx = ctx.load(const_centers, sid * 3 + 0)
+            cy = ctx.load(const_centers, sid * 3 + 1)
+            cz = ctx.load(const_centers, sid * 3 + 2)
+            rr = ctx.load(const_radii, sid)
+            alb = ctx.load(const_albedo, sid)
+            ctx.alu(16)
+            nx = (best_t * dx - cx) / rr
+            ny = (best_t * dy - cy) / rr
+            nz = (best_t * dz - cz) / rr
+            lam = -(nx * light[0] + ny * light[1] + nz * light[2])
+            ctx.store(image, pix, alb * np.maximum(lam, 0.0))
+
+
+def gpu_port_run(gpu, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = cpu_sizes(scale)
+    centers_h, radii_h, albedo_h = _scene(p)
+    bvh = build_bvh(centers_h, radii_h)
+    h, w = p["h"], p["w"]
+    light = np.array([0.5, -1.0, -0.25])
+    light = light / np.linalg.norm(light)
+    from repro.gpusim.isa import Space
+
+    # BVH in texture memory (like MUMmer's tree); spheres in constant.
+    bmin = gpu.to_texture(bvh.bbox_min.reshape(-1), name="bvh_min")
+    bmax = gpu.to_texture(bvh.bbox_max.reshape(-1), name="bvh_max")
+    left = gpu.to_texture(bvh.left.astype(np.int32), name="bvh_left")
+    right = gpu.to_texture(bvh.right.astype(np.int32), name="bvh_right")
+    first = gpu.to_texture(bvh.first.astype(np.int32), name="bvh_first")
+    count = gpu.to_texture(bvh.count.astype(np.int32), name="bvh_count")
+    order = gpu.to_texture(bvh.order.astype(np.int32), name="bvh_order")
+    const_centers = gpu.to_const(centers_h.reshape(-1), name="centers")
+    const_radii = gpu.to_const(radii_h, name="radii")
+    const_albedo = gpu.to_const(albedo_h, name="albedo")
+    image = gpu.alloc(h * w, dtype=np.float64, name="image")
+    block = 128
+    stack = gpu.alloc(block * _MAX_STACK, dtype=np.int32,
+                      space=Space.LOCAL, name="traversal_stack")
+    gpu.launch(_raytrace_kernel, (h * w + block - 1) // block, block,
+               bmin, bmax, left, right, first, count, order,
+               const_centers, const_radii, const_albedo,
+               stack, image, h, w, centers_h.shape[0], light,
+               regs_per_thread=48, name="raytrace_port")
+    return image.to_host().reshape(h, w)
+
+
+def check_gpu_port(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_allclose(result, reference(cpu_sizes(scale)),
+                               rtol=1e-8, atol=1e-12)
+
+
+register(WorkloadDef(META, cpu_fn=cpu_run, check_cpu=check_cpu))

@@ -1,0 +1,25 @@
+"""StreamCluster, Parsec registration.
+
+StreamCluster appears in *both* suites — the paper's dendrogram labels
+it "streamcluster(R, P)".  The algorithm and implementation are shared
+with :mod:`repro.workloads.rodinia.streamcluster`; this module registers
+the Parsec-side entry with Table V's metadata so suite enumeration
+(Table V) is complete.  Suite-comparison experiments deduplicate the
+pair into a single "(R, P)" point, as the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+from repro.workloads.rodinia.streamcluster import check_cpu, cpu_run
+
+META = WorkloadMeta(
+    name="streamcluster_p",
+    suite="parsec",
+    dwarf="Dense Linear Algebra",
+    domain="Data Mining",
+    paper_size="16,384 points per block, 1 block",
+    description="Online clustering kernel (same implementation as Rodinia's)",
+)
+
+register(WorkloadDef(META, cpu_fn=cpu_run, check_cpu=check_cpu))

@@ -1,0 +1,128 @@
+"""Swaptions (Parsec) — financial analysis.
+
+Paper (Table V) problem size: 64 swaptions, 20,000 simulations.
+
+Monte-Carlo pricing of interest-rate swaptions under an HJM-style
+forward-rate model: per swaption and trial, the forward curve is evolved
+with correlated shocks, the swap's value is computed at maturity, and
+the discounted payoff is averaged.  Compute-dominated with per-swaption
+private state; swaptions are distributed cyclically across threads, as
+in Parsec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.common.rng import make_rng
+from repro.cpusim import Machine
+from repro.inputs.misc import swaption_portfolio
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="swaptions",
+    suite="parsec",
+    dwarf="MapReduce / Monte Carlo",
+    domain="Financial Analysis",
+    paper_size="64 swaptions, 20,000 simulations",
+    description="HJM Monte-Carlo swaption pricing, cyclic distribution",
+)
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    ns, trials = {
+        SimScale.TINY: (8, 64),
+        SimScale.SMALL: (16, 256),
+        SimScale.MEDIUM: (32, 512),
+    }[scale]
+    return {"n_swaptions": ns, "trials": trials}
+
+
+def _shocks(p: dict) -> np.ndarray:
+    rng = make_rng("swaptions-shocks", p["n_swaptions"], p["trials"])
+    return rng.normal(0.0, 1.0, (p["n_swaptions"], p["trials"], 10))
+
+
+def _price_one(curve, maturity, tenor, strike, vol, shocks):
+    """Average discounted payoff of one swaption over all trials."""
+    n_curve = curve.size
+    total = 0.0
+    dt = 0.5
+    for trial in range(shocks.shape[0]):
+        fwd = curve.copy()
+        for step in range(maturity):
+            drift = 0.5 * vol * vol * dt
+            fwd = fwd + drift + vol * np.sqrt(dt) * shocks[trial, step]
+        # Swap rate over the tenor vs. strike, discounted along the curve.
+        pay_leg = fwd[:tenor].sum() * dt
+        discount = np.exp(-fwd[0] * maturity * dt)
+        payoff = max(pay_leg - strike * tenor * dt, 0.0)
+        total += discount * payoff
+    return total / shocks.shape[0]
+
+
+def reference(p: dict) -> np.ndarray:
+    port = swaption_portfolio(p["n_swaptions"])
+    shocks = _shocks(p)
+    out = np.empty(p["n_swaptions"])
+    for i in range(p["n_swaptions"]):
+        out[i] = _price_one(
+            port["initial_curve"][i], int(port["maturity_steps"][i]),
+            int(port["tenor_steps"][i]), float(port["strike"][i]),
+            float(port["vol"][i]), shocks[i, :, :],
+        )
+    return out
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = cpu_sizes(scale)
+    ns, trials = p["n_swaptions"], p["trials"]
+    port = swaption_portfolio(ns)
+    shocks_h = _shocks(p)
+    n_curve = port["initial_curve"].shape[1]
+    curves = machine.array(port["initial_curve"].reshape(-1), name="curves")
+    prices = machine.alloc(ns, name="prices")
+    # Per-thread HJM path matrix, as in Parsec's ppdHJMPath buffers.
+    max_steps = int(port["maturity_steps"].max())
+    paths = machine.alloc((machine.n_threads, max_steps, n_curve), name="paths")
+    dt = 0.5
+
+    def worker(t):
+        cidx = np.arange(n_curve)
+        pbase = t.tid * max_steps * n_curve
+        for i in t.strided(ns):
+            curve = t.load(curves, i * n_curve + cidx)
+            maturity = int(port["maturity_steps"][i])
+            tenor = int(port["tenor_steps"][i])
+            strike = float(port["strike"][i])
+            vol = float(port["vol"][i])
+            total = 0.0
+            for trial in range(trials):
+                fwd = curve.copy()
+                for step in range(maturity):
+                    # Parsec generates the normal shock inline (RanUnif +
+                    # CumNormalInv): charged as arithmetic, not a load.
+                    z = shocks_h[i, trial, step]
+                    t.alu(12 + 4 * n_curve)
+                    fwd = fwd + 0.5 * vol * vol * dt + vol * np.sqrt(dt) * z
+                    t.store(paths, pbase + step * n_curve + cidx, fwd)
+                # Payoff reads the simulated path's final row back.
+                final = t.load(paths, pbase + (maturity - 1) * n_curve + cidx)
+                t.alu(2 * tenor + 8)
+                t.branch(1)
+                pay_leg = final[:tenor].sum() * dt
+                discount = np.exp(-final[0] * maturity * dt)
+                payoff = max(pay_leg - strike * tenor * dt, 0.0)
+                total += discount * payoff
+            t.store(prices, i, total / trials)
+
+    machine.parallel(worker)
+    return prices.to_host()
+
+
+def check_cpu(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_allclose(result, reference(cpu_sizes(scale)), rtol=1e-10)
+
+
+register(WorkloadDef(META, cpu_fn=cpu_run, check_cpu=check_cpu))

@@ -1,0 +1,123 @@
+"""Vips (Parsec) — media processing.
+
+Paper (Table V) problem size: 1 image, 26,625,500 pixels.
+
+The VIPS benchmark applies a fused image-transformation pipeline
+(affine shrink, sharpen convolution, linear colour adjustment) in
+row-banded parallel passes over a large image — streaming access with a
+big data footprint and almost no sharing, which keeps Vips near
+Blackscholes in the clustering (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.cpusim import Machine
+from repro.inputs.images import photo
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="vips",
+    suite="parsec",
+    dwarf="Structured Grid / Streaming",
+    domain="Media Processing",
+    paper_size="1 image, 26,625,500 pixels",
+    description="Affine-shrink + sharpen + linear-adjust image pipeline",
+)
+
+_SHARPEN = np.array([[0.0, -1.0, 0.0], [-1.0, 5.0, -1.0], [0.0, -1.0, 0.0]])
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    h, w = {
+        SimScale.TINY: (96, 128),
+        SimScale.SMALL: (192, 256),
+        SimScale.MEDIUM: (384, 512),
+    }[scale]
+    return {"h": h, "w": w}
+
+
+def _inputs(p: dict) -> np.ndarray:
+    return photo(p["h"], p["w"], seed_tag="vips")
+
+
+def _shrink_numpy(img: np.ndarray) -> np.ndarray:
+    """2x box shrink."""
+    h2, w2 = img.shape[0] // 2, img.shape[1] // 2
+    v = img[: h2 * 2, : w2 * 2]
+    return 0.25 * (v[0::2, 0::2] + v[1::2, 0::2] + v[0::2, 1::2] + v[1::2, 1::2])
+
+
+def _sharpen_numpy(img: np.ndarray) -> np.ndarray:
+    h, w = img.shape
+    pad = np.pad(img, 1, mode="edge")
+    out = np.zeros_like(img)
+    for ky in range(3):
+        for kx in range(3):
+            out += _SHARPEN[ky, kx] * pad[ky:ky + h, kx:kx + w]
+    return out
+
+
+def reference(p: dict) -> np.ndarray:
+    img = _inputs(p)
+    img = _shrink_numpy(img)
+    img = _sharpen_numpy(img)
+    return np.clip(1.1 * img + 0.02, 0.0, 1.0)
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = cpu_sizes(scale)
+    img_h = _inputs(p)
+    h, w = p["h"], p["w"]
+    h2, w2 = h // 2, w // 2
+    src = machine.array(img_h.reshape(-1), name="image")
+    small = machine.alloc(h2 * w2, name="shrunk")
+    sharp = machine.alloc(h2 * w2, name="sharpened")
+    out = machine.alloc(h2 * w2, name="output")
+
+    def shrink(t):
+        xs = np.arange(w2)
+        for r in t.chunk(h2):
+            a = t.load(src, (2 * r) * w + 2 * xs)
+            b = t.load(src, (2 * r + 1) * w + 2 * xs)
+            c = t.load(src, (2 * r) * w + 2 * xs + 1)
+            d = t.load(src, (2 * r + 1) * w + 2 * xs + 1)
+            t.alu(4 * w2)
+            t.store(small, r * w2 + xs, 0.25 * (a + b + c + d))
+
+    def sharpen(t):
+        xs = np.arange(w2)
+        for r in t.chunk(h2):
+            acc = np.zeros(w2)
+            for ky in (-1, 0, 1):
+                rr = min(max(r + ky, 0), h2 - 1)
+                row = t.load(small, rr * w2 + xs)
+                t.alu(6 * w2)
+                for kx in (-1, 0, 1):
+                    kv = _SHARPEN[ky + 1, kx + 1]
+                    if kv == 0.0:
+                        continue
+                    shifted = row[np.clip(xs + kx, 0, w2 - 1)]
+                    acc += kv * shifted
+            t.store(sharp, r * w2 + xs, acc)
+
+    def adjust(t):
+        xs = np.arange(w2)
+        for r in t.chunk(h2):
+            v = t.load(sharp, r * w2 + xs)
+            t.alu(3 * w2)
+            t.store(out, r * w2 + xs, np.clip(1.1 * v + 0.02, 0.0, 1.0))
+
+    machine.parallel(shrink)
+    machine.parallel(sharpen)
+    machine.parallel(adjust)
+    return out.to_host().reshape(h2, w2)
+
+
+def check_cpu(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_allclose(result, reference(cpu_sizes(scale)), rtol=1e-10)
+
+
+register(WorkloadDef(META, cpu_fn=cpu_run, check_cpu=check_cpu))

@@ -1,0 +1,163 @@
+"""X264 (Parsec) — media processing.
+
+Paper (Table V) problem size: 128 frames, 640x360 pixels.
+
+The H.264 encoder's dominant kernels: per 16x16 macroblock, full-search
+motion estimation (SAD over a +-4 window in the reference frame),
+followed by a 4x4 integer transform and quantization of the residual.
+Macroblock rows are parallelized per frame; the reference frame is
+read-shared across threads, integer arithmetic dominates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.cpusim import Machine
+from repro.inputs.images import video_sequence
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="x264",
+    suite="parsec",
+    dwarf="Structured Grid / Dense",
+    domain="Media Processing",
+    paper_size="128 frames, 640x360 pixels",
+    description="Motion estimation + integer transform per macroblock",
+)
+
+_MB = 16
+_SR = 4            # search radius
+
+# H.264 4x4 forward integer transform matrix.
+_T4 = np.array([
+    [1, 1, 1, 1],
+    [2, 1, -1, -2],
+    [1, -1, -1, 1],
+    [1, -2, 2, -1],
+], dtype=np.int64)
+
+_QP = 6
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    res = {SimScale.TINY: 48, SimScale.SMALL: 96, SimScale.MEDIUM: 160}[scale]
+    return {"h": res, "w": res, "frames": 3}
+
+
+def _inputs(p: dict) -> np.ndarray:
+    frames = video_sequence(p["frames"], p["h"], p["w"], seed_tag="x264")
+    return (frames * 255.0).astype(np.int64)
+
+
+def _sad(a: np.ndarray, b: np.ndarray) -> int:
+    return int(np.abs(a - b).sum())
+
+
+def _transform_quant(residual: np.ndarray) -> np.ndarray:
+    """4x4 integer transform + flat quantization over the macroblock."""
+    out = np.empty_like(residual)
+    for by in range(0, _MB, 4):
+        for bx in range(0, _MB, 4):
+            blk = residual[by:by + 4, bx:bx + 4]
+            coef = _T4 @ blk @ _T4.T
+            out[by:by + 4, bx:bx + 4] = coef // (1 << _QP)
+    return out
+
+
+def _encode_frame(cur: np.ndarray, ref: np.ndarray, record=None):
+    """Returns (motion_vectors, total_coded_bits_proxy)."""
+    h, w = cur.shape
+    mvs = []
+    bits = 0
+    for my in range(0, h - _MB + 1, _MB):
+        for mx in range(0, w - _MB + 1, _MB):
+            block = cur[my:my + _MB, mx:mx + _MB]
+            best = (np.inf, 0, 0)
+            for dy in range(-_SR, _SR + 1):
+                for dx in range(-_SR, _SR + 1):
+                    ry, rx = my + dy, mx + dx
+                    if ry < 0 or rx < 0 or ry + _MB > h or rx + _MB > w:
+                        continue
+                    cand = ref[ry:ry + _MB, rx:rx + _MB]
+                    if record is not None:
+                        record(ry, rx)
+                    s = _sad(block, cand)
+                    if s < best[0]:
+                        best = (s, dy, dx)
+            _, dy, dx = best
+            residual = block - ref[my + dy:my + dy + _MB, mx + dx:mx + dx + _MB]
+            coef = _transform_quant(residual)
+            bits += int(np.abs(coef).sum()) + abs(dy) + abs(dx)
+            mvs.append((dy, dx))
+    return mvs, bits
+
+
+def reference(p: dict):
+    frames = _inputs(p)
+    all_bits = []
+    for f in range(1, p["frames"]):
+        _, bits = _encode_frame(frames[f], frames[f - 1])
+        all_bits.append(bits)
+    return all_bits
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL):
+    p = cpu_sizes(scale)
+    frames_h = _inputs(p)
+    h, w = p["h"], p["w"]
+    frame_arrs = [machine.array(frames_h[f].reshape(-1), name=f"frame{f}")
+                  for f in range(p["frames"])]
+    n_mb_rows = (h - _MB) // _MB + 1
+    bits_arr = machine.alloc(machine.n_threads, dtype=np.int64, name="bits")
+    txs = np.arange(_MB)
+    all_bits = []
+
+    for f in range(1, p["frames"]):
+        cur, ref = frame_arrs[f], frame_arrs[f - 1]
+
+        def encode_rows(t):
+            bits = 0
+            for row in t.strided(n_mb_rows):
+                my = row * _MB
+                for mx in range(0, w - _MB + 1, _MB):
+                    block = np.empty((_MB, _MB), dtype=np.int64)
+                    for ty in range(_MB):
+                        block[ty] = t.load(cur, (my + ty) * w + mx + txs)
+                    best = (np.inf, 0, 0)
+                    for dy in range(-_SR, _SR + 1):
+                        for dx in range(-_SR, _SR + 1):
+                            ry, rx = my + dy, mx + dx
+                            if ry < 0 or rx < 0 or ry + _MB > h or rx + _MB > w:
+                                continue
+                            sad = 0
+                            for ty in range(_MB):
+                                rrow = t.load(ref, (ry + ty) * w + rx + txs)
+                                t.alu(2 * _MB)
+                                sad += int(np.abs(block[ty] - rrow).sum())
+                            t.branch(1)
+                            if sad < best[0]:
+                                best = (sad, dy, dx)
+                    _, dy, dx = best
+                    refblk = np.empty((_MB, _MB), dtype=np.int64)
+                    for ty in range(_MB):
+                        refblk[ty] = t.load(
+                            ref, (my + dy + ty) * w + mx + dx + txs)
+                    t.alu(40 * _MB)   # integer transform + quantization
+                    coef = _transform_quant(block - refblk)
+                    bits += int(np.abs(coef).sum()) + abs(dy) + abs(dx)
+            t.store(bits_arr, t.tid, bits)
+
+        machine.parallel(encode_rows)
+        all_bits.append(int(bits_arr.data.sum()))
+    return all_bits
+
+
+def check_cpu(result, scale: SimScale) -> None:
+    expected = reference(cpu_sizes(scale))
+    if result != expected:
+        raise AssertionError(f"coded-bits mismatch: {result} vs {expected}")
+
+
+register(WorkloadDef(META, cpu_fn=cpu_run, check_cpu=check_cpu))

@@ -1,0 +1,221 @@
+"""Back Propagation (Rodinia) — Unstructured Grid dwarf, pattern recognition.
+
+Paper problem size: 65536 input nodes.
+
+One full training pass of a 2-layer perceptron, with Rodinia's exact
+CPU/GPU split: the GPU runs the wide input->hidden forward pass (one
+16x16 block per 16 input nodes x 16 hidden units, partial products
+reduced through **shared memory** by the strided halving tree whose
+shrinking active sets the paper uses as its unfilled-warp example:
+"the number of active threads during the four iterations are 8, 4, 2
+and 1", Section III-B) and the input->hidden weight adjustment; the
+tiny hidden->output layer, the output error, and the backpropagated
+hidden deltas are computed on the host, as in backprop.c.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.common.rng import make_rng
+from repro.cpusim import Machine
+from repro.gpusim import GPU
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="backprop",
+    suite="rodinia",
+    dwarf="Unstructured Grid",
+    domain="Pattern Recognition",
+    paper_size="65536 input nodes",
+    short="BP",
+    description="2-layer perceptron training pass with shared-memory reduction",
+)
+
+_B = 16          # block tile edge: 16 input nodes x 16 hidden units
+_HIDDEN = 16
+_ETA = 0.3
+_TARGET = 0.7
+
+
+def gpu_sizes(scale: SimScale) -> dict:
+    n = {SimScale.TINY: 1024, SimScale.SMALL: 8192, SimScale.MEDIUM: 32768}[scale]
+    return {"n_in": n, "n_hidden": _HIDDEN}
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    n = {SimScale.TINY: 1024, SimScale.SMALL: 4096, SimScale.MEDIUM: 16384}[scale]
+    return {"n_in": n, "n_hidden": _HIDDEN}
+
+
+def _inputs(p: dict):
+    rng = make_rng("backprop", p["n_in"])
+    units = rng.uniform(0.0, 1.0, p["n_in"]).astype(np.float32)
+    w1 = rng.uniform(-0.5, 0.5, (p["n_in"], p["n_hidden"])).astype(np.float32)
+    w2 = rng.uniform(-0.5, 0.5, p["n_hidden"]).astype(np.float32)
+    return units, w1, w2
+
+
+def _sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def _output_layer(hidden_sums: np.ndarray, w2: np.ndarray):
+    """Host-side part of the pass (Rodinia keeps this on the CPU).
+
+    Returns (hidden activations, output, hidden deltas, adjusted w2).
+    """
+    hidden = _sigmoid(hidden_sums / hidden_sums.size)
+    out = float(_sigmoid((hidden * w2).sum()))
+    delta_o = out * (1.0 - out) * (_TARGET - out)
+    delta_h = hidden * (1.0 - hidden) * (w2 * delta_o)
+    new_w2 = w2 + _ETA * delta_o * hidden
+    return hidden, out, delta_h.astype(np.float32), new_w2.astype(np.float32)
+
+
+def reference(p: dict):
+    """Full pass in numpy: (hidden_sums, output, new_w1, new_w2)."""
+    units, w1, w2 = _inputs(p)
+    w1d = w1.astype(np.float64)
+    hidden_sums = (units[:, None].astype(np.float64) * w1d).sum(axis=0)
+    hidden, out, delta_h, new_w2 = _output_layer(hidden_sums, w2)
+    new_w1 = w1d + _ETA * np.outer(units, delta_h)
+    return hidden_sums, out, new_w1.astype(np.float32), new_w2
+
+
+def _forward_kernel(ctx, units, weights, partial, n_in, n_hidden):
+    """Products into shared memory, then a halving-tree column reduction."""
+    blk_row = ctx.bidx
+    ctx.alu(4)
+    in_idx = blk_row * _B + ctx.ty
+    smem = ctx.shared((_B, _B), dtype=np.float32, name="products")
+    lin = ctx.ty * _B + ctx.tx
+    with ctx.masked(in_idx < n_in):
+        u = ctx.load(units, np.minimum(in_idx, n_in - 1))
+        w = ctx.load(weights, in_idx * n_hidden + ctx.tx)
+        ctx.alu(1)
+        ctx.store(smem, lin, u * w)
+    ctx.sync()
+    # Strided tree reduction along the input (ty) dimension, exactly as
+    # Rodinia's bpnn_layerforward_CUDA does: surviving lanes are spread
+    # out (ty % 2^k == 0), so warps run at 16, 8, 4, then 2 active
+    # threads — the paper's "8, 4, 2 and 1" shrinking-warp example.
+    step = 1
+    while step < _B:
+        ctx.alu(2)
+        with ctx.masked(ctx.ty % (2 * step) == 0):
+            a = ctx.load(smem, lin)
+            b = ctx.load(smem, (ctx.ty + step) * _B + ctx.tx)
+            ctx.alu(1)
+            ctx.store(smem, lin, a + b)
+        ctx.sync()
+        step *= 2
+    with ctx.masked(ctx.ty == 0):
+        ctx.store(partial, blk_row * n_hidden + ctx.tx, ctx.load(smem, ctx.tx))
+
+
+def _adjust_kernel(ctx, units, weights, deltas, n_in, n_hidden):
+    blk_row = ctx.bidx
+    ctx.alu(4)
+    in_idx = blk_row * _B + ctx.ty
+    with ctx.masked(in_idx < n_in):
+        u = ctx.load(units, np.minimum(in_idx, n_in - 1))
+        d = ctx.load(deltas, ctx.tx)
+        w = ctx.load(weights, in_idx * n_hidden + ctx.tx)
+        ctx.alu(3)
+        ctx.store(weights, in_idx * n_hidden + ctx.tx, w + _ETA * u * d)
+
+
+def gpu_run(gpu: GPU, scale: SimScale = SimScale.SMALL):
+    p = gpu_sizes(scale)
+    n_in, n_hidden = p["n_in"], p["n_hidden"]
+    units_h, w1_h, w2_h = _inputs(p)
+    units = gpu.to_device(units_h, name="units")
+    weights = gpu.to_device(w1_h, name="weights")
+    n_blocks = (n_in + _B - 1) // _B
+    partial = gpu.alloc(n_blocks * n_hidden, dtype=np.float32, name="partial")
+    gpu.launch(_forward_kernel, n_blocks, (_B, _B), units, weights, partial,
+               n_in, n_hidden, regs_per_thread=16, name="bpnn_layerforward")
+    hidden_sums = (
+        partial.to_host().reshape(n_blocks, n_hidden).astype(np.float64).sum(axis=0)
+    )
+    # Hidden->output layer and error backpropagation on the host.
+    hidden, out, delta_h, new_w2 = _output_layer(hidden_sums, w2_h)
+    deltas = gpu.to_device(delta_h, name="deltas")
+    gpu.launch(_adjust_kernel, n_blocks, (_B, _B), units, weights, deltas,
+               n_in, n_hidden, regs_per_thread=12, name="bpnn_adjust_weights")
+    return hidden_sums, out, weights.to_host(), new_w2
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL):
+    p = cpu_sizes(scale)
+    n_in, n_hidden = p["n_in"], p["n_hidden"]
+    units_h, w1_h, w2_h = _inputs(p)
+    units = machine.array(units_h, name="units")
+    weights = machine.array(w1_h, name="weights")
+    w2 = machine.array(w2_h, name="weights2")
+    partial = machine.alloc((machine.n_threads, n_hidden), name="partial")
+    deltas = machine.alloc(n_hidden, dtype=np.float32, name="deltas")
+    box = {}
+
+    def forward(t):
+        acc = np.zeros(n_hidden)
+        cols = np.arange(n_hidden)
+        for i in t.chunk(n_in):
+            u = t.load(units, i)
+            w = t.load(weights, i * n_hidden + cols)
+            t.alu(2 * n_hidden)
+            acc += np.float64(u) * w
+        t.store(partial, t.tid * n_hidden + cols, acc)
+
+    def output_layer(t):
+        cols = np.arange(n_hidden)
+        sums = t.load(partial, np.arange(machine.n_threads * n_hidden))
+        t.alu(sums.size + 8 * n_hidden)
+        hidden_sums = sums.reshape(machine.n_threads, n_hidden).sum(axis=0)
+        w2_now = t.load(w2, cols).astype(np.float32)
+        hidden, out, delta_h, new_w2 = _output_layer(hidden_sums, w2_now)
+        t.store(w2, cols, new_w2)
+        t.store(deltas, cols, delta_h)
+        box["hidden_sums"] = hidden_sums
+        box["out"] = out
+
+    def adjust(t):
+        cols = np.arange(n_hidden)
+        d = t.load(deltas, cols)
+        for i in t.chunk(n_in):
+            u = t.load(units, i)
+            w = t.load(weights, i * n_hidden + cols)
+            t.alu(3 * n_hidden)
+            t.store(weights, i * n_hidden + cols, w + _ETA * u * d)
+
+    machine.parallel(forward)
+    machine.serial(output_layer)
+    machine.parallel(adjust)
+    return box["hidden_sums"], box["out"], weights.to_host(), w2.to_host()
+
+
+def _check(result, p) -> None:
+    hidden_sums, out, new_w1, new_w2 = result
+    ref_sums, ref_out, ref_w1, ref_w2 = reference(p)
+    np.testing.assert_allclose(hidden_sums, ref_sums, rtol=1e-3)
+    assert abs(out - ref_out) < 1e-4
+    np.testing.assert_allclose(new_w1, ref_w1, rtol=1e-3, atol=1e-5)
+    np.testing.assert_allclose(new_w2, ref_w2, rtol=1e-5)
+
+
+def check_gpu(result, scale: SimScale) -> None:
+    _check(result, gpu_sizes(scale))
+
+
+def check_cpu(result, scale: SimScale) -> None:
+    _check(result, cpu_sizes(scale))
+
+
+register(
+    WorkloadDef(
+        META, cpu_fn=cpu_run, gpu_fn=gpu_run,
+        check_cpu=check_cpu, check_gpu=check_gpu,
+    )
+)

@@ -1,0 +1,205 @@
+"""Breadth-First Search (Rodinia) — Graph Traversal dwarf.
+
+Paper problem size: 1,000,000 nodes.
+
+The CUDA implementation mirrors Rodinia's two-kernel level-synchronous
+algorithm: kernel 1 expands the frontier (every node checks its mask,
+frontier nodes walk their adjacency list), kernel 2 commits the updating
+mask and raises the continue flag.  The paper attributes BFS's low IPC
+to dominant global-memory traffic and its low warp occupancy to the
+frontier test's branch divergence — both emerge directly from this
+structure.  The OpenMP implementation scans the mask array in parallel
+chunks per level, as Rodinia's CPU version does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.cpusim import Machine
+from repro.gpusim import GPU
+from repro.inputs.graphs import bfs_source, random_graph_csr
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="bfs",
+    suite="rodinia",
+    dwarf="Graph Traversal",
+    domain="Graph Algorithms",
+    paper_size="1000000 nodes",
+    short="BFS",
+    description="Level-synchronous frontier BFS over a CSR random graph",
+)
+
+_BLOCK = 256
+
+
+def gpu_sizes(scale: SimScale) -> dict:
+    n = {SimScale.TINY: 2048, SimScale.SMALL: 16384, SimScale.MEDIUM: 65536}[scale]
+    return {"n": n, "deg": 6}
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    n = {SimScale.TINY: 2048, SimScale.SMALL: 8192, SimScale.MEDIUM: 32768}[scale]
+    return {"n": n, "deg": 6}
+
+
+def _inputs(p: dict):
+    row, col = random_graph_csr(p["n"], p["deg"], seed_tag="bfs")
+    return row, col, bfs_source(p["n"], seed_tag="bfs")
+
+
+def reference(p: dict) -> np.ndarray:
+    """Level-synchronous BFS in plain numpy; returns distance per node."""
+    row, col, src = _inputs(p)
+    n = p["n"]
+    cost = np.full(n, -1, dtype=np.int64)
+    cost[src] = 0
+    frontier = np.array([src])
+    level = 0
+    while frontier.size:
+        nbrs = np.concatenate(
+            [col[row[u] : row[u + 1]] for u in frontier]
+        ) if frontier.size else np.empty(0, dtype=np.int64)
+        nbrs = np.unique(nbrs)
+        fresh = nbrs[cost[nbrs] < 0]
+        cost[fresh] = level + 1
+        frontier = fresh
+        level += 1
+    return cost
+
+
+def _kernel1(ctx, row, col, mask, updating, visited, cost, n):
+    tid = ctx.gtid
+    with ctx.masked(tid < n):
+        active = ctx.load(mask, tid) != 0
+        with ctx.masked(active):
+            ctx.store(mask, tid, 0)
+            my_cost = ctx.load(cost, tid)
+            start = ctx.load(row, tid)
+            end = ctx.load(row, np.minimum(tid + 1, n))
+            off = start.copy()
+
+            def cond():
+                return off < end
+
+            for _ in ctx.while_(cond):
+                nb = ctx.load(col, off)
+                vis = ctx.load(visited, nb)
+                with ctx.masked(vis == 0):
+                    # Benign race: all frontier nodes write level + 1.
+                    ctx.store(cost, nb, my_cost + 1)
+                    ctx.store(updating, nb, 1)
+                ctx.alu(1)
+                off = off + 1
+
+
+def _kernel2(ctx, mask, updating, visited, stop, n):
+    tid = ctx.gtid
+    with ctx.masked(tid < n):
+        upd = ctx.load(updating, tid) != 0
+        with ctx.masked(upd):
+            ctx.store(mask, tid, 1)
+            ctx.store(visited, tid, 1)
+            ctx.store(stop, ctx.const(0, dtype=np.int64), 1)
+            ctx.store(updating, tid, 0)
+
+
+def gpu_run(gpu: GPU, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = gpu_sizes(scale)
+    n = p["n"]
+    row_h, col_h, src = _inputs(p)
+    row = gpu.to_device(row_h.astype(np.int32), name="row_offsets")
+    col = gpu.to_device(col_h.astype(np.int32), name="col_indices")
+    mask = gpu.alloc(n, dtype=np.int8, name="mask")
+    updating = gpu.alloc(n, dtype=np.int8, name="updating")
+    visited = gpu.alloc(n, dtype=np.int8, name="visited")
+    cost = gpu.to_device(np.full(n, -1, dtype=np.int32), name="cost")
+    stop = gpu.alloc(1, dtype=np.int64, name="stop")
+    mask.data[src] = 1
+    visited.data[src] = 1
+    cost.data[src] = 0
+    grid = (n + _BLOCK - 1) // _BLOCK
+    while True:
+        stop.data[0] = 0
+        gpu.launch(_kernel1, grid, _BLOCK, row, col, mask, updating, visited,
+                   cost, n, regs_per_thread=12, name="bfs_kernel1")
+        gpu.launch(_kernel2, grid, _BLOCK, mask, updating, visited, stop, n,
+                   regs_per_thread=8, name="bfs_kernel2")
+        if stop.data[0] == 0:
+            break
+    return cost.to_host()
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = cpu_sizes(scale)
+    n = p["n"]
+    row_h, col_h, src = _inputs(p)
+    row = machine.array(row_h, name="row_offsets")
+    col = machine.array(col_h, name="col_indices")
+    mask = machine.array(np.zeros(n, dtype=np.int8), name="mask")
+    updating = machine.array(np.zeros(n, dtype=np.int8), name="updating")
+    visited = machine.array(np.zeros(n, dtype=np.int8), name="visited")
+    cost = machine.array(np.full(n, -1, dtype=np.int64), name="cost")
+    mask.data[src] = 1
+    visited.data[src] = 1
+    cost.data[src] = 0
+    progressed = {"v": True}
+
+    def expand(t):
+        chunk = t.chunk(n)
+        idx = np.arange(chunk.start, chunk.stop)
+        if idx.size == 0:
+            return
+        active = t.load(mask, idx) != 0
+        t.branch(idx.size)
+        for u in idx[active]:
+            t.store(mask, u, 0)
+            my_cost = t.load(cost, u)
+            lo = int(t.load(row, u))
+            hi = int(t.load(row, u + 1))
+            if hi > lo:
+                nbrs = t.load(col, np.arange(lo, hi))
+                vis = t.load(visited, nbrs)
+                t.branch(nbrs.size)
+                fresh = nbrs[vis == 0]
+                if fresh.size:
+                    t.store(cost, fresh, my_cost + 1)
+                    t.store(updating, fresh, 1)
+
+    def commit(t):
+        chunk = t.chunk(n)
+        idx = np.arange(chunk.start, chunk.stop)
+        if idx.size == 0:
+            return
+        upd = t.load(updating, idx) != 0
+        t.branch(idx.size)
+        hot = idx[upd]
+        if hot.size:
+            t.store(mask, hot, 1)
+            t.store(visited, hot, 1)
+            t.store(updating, hot, 0)
+            progressed["v"] = True
+
+    while progressed["v"]:
+        progressed["v"] = False
+        machine.parallel(expand)
+        machine.parallel(commit)
+    return cost.to_host()
+
+
+def check_gpu(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_array_equal(result, reference(gpu_sizes(scale)))
+
+
+def check_cpu(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_array_equal(result, reference(cpu_sizes(scale)))
+
+
+register(
+    WorkloadDef(
+        META, cpu_fn=cpu_run, gpu_fn=gpu_run,
+        check_cpu=check_cpu, check_gpu=check_gpu,
+    )
+)

@@ -1,0 +1,241 @@
+"""CFD Solver (Rodinia) — Unstructured Grid dwarf, fluid dynamics.
+
+Paper problem size: 97k elements.
+
+An unstructured-grid finite-volume solver for the 3-D Euler equations
+(Corrigan et al. [11]).  Per element and Runge-Kutta stage, the flux
+kernel gathers the 4 face neighbors' conserved variables (density,
+momentum, energy), evaluates upwind-ish face fluxes with the stored face
+normals, and accumulates the residual.  Variables are stored
+**structure-of-arrays** (variable-major) so same-variable gathers
+coalesce — the data-layout optimization the paper highlights.  The
+neighbor gathers still generate abundant global traffic, which is why
+Figure 4 shows CFD among the most channel-sensitive workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.common.rng import make_rng
+from repro.cpusim import Machine
+from repro.gpusim import GPU
+from repro.inputs.meshes import cfd_mesh
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="cfd",
+    suite="rodinia",
+    dwarf="Unstructured Grid",
+    domain="Fluid Dynamics",
+    paper_size="97k elements",
+    short="CFD",
+    description="Unstructured finite-volume Euler solver, SoA layout",
+)
+
+_NVAR = 5      # rho, mx, my, mz, energy
+_NFACE = 4
+_RK = 3
+_BLOCK = 128
+_DT = 1e-3
+
+
+def gpu_sizes(scale: SimScale) -> dict:
+    nx, ny = {SimScale.TINY: (24, 24), SimScale.SMALL: (64, 48),
+              SimScale.MEDIUM: (96, 96)}[scale]
+    return {"nx": nx, "ny": ny, "nz": 2, "iters": 2}
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    nx, ny = {SimScale.TINY: (16, 16), SimScale.SMALL: (40, 32),
+              SimScale.MEDIUM: (64, 64)}[scale]
+    return {"nx": nx, "ny": ny, "nz": 2, "iters": 2}
+
+
+def _inputs(p: dict):
+    mesh = cfd_mesh(p["nx"], p["ny"], p["nz"], seed_tag="cfd")
+    rng = make_rng("cfd-state", mesh.n_elements)
+    state = np.empty((_NVAR, mesh.n_elements), dtype=np.float64)
+    state[0] = rng.uniform(0.9, 1.1, mesh.n_elements)          # density
+    state[1:4] = rng.normal(0.0, 0.05, (3, mesh.n_elements))   # momentum
+    state[4] = rng.uniform(2.4, 2.6, mesh.n_elements)          # energy
+    return mesh, state
+
+
+def _flux_numpy(state: np.ndarray, mesh) -> np.ndarray:
+    """Residual of every element (vectorized reference)."""
+    n = mesh.n_elements
+    nbr = mesh.neighbors           # (n, 4)
+    normals = mesh.face_normals    # (n, 4, 3)
+    res = np.zeros_like(state)
+    own = state                            # (5, n)
+    for f in range(_NFACE):
+        valid = nbr[:, f] >= 0
+        other = np.where(valid, nbr[:, f], 0)
+        s_o = state[:, other]              # (5, n)
+        # Boundary faces reflect (use own state).
+        s_o = np.where(valid[None, :], s_o, own)
+        avg = 0.5 * (own + s_o)
+        nx, ny, nz = normals[:, f, 0], normals[:, f, 1], normals[:, f, 2]
+        vel_n = (avg[1] * nx + avg[2] * ny + avg[3] * nz) / avg[0]
+        for v in range(_NVAR):
+            res[v] += vel_n * avg[v] - 0.1 * (s_o[v] - own[v])
+    res /= mesh.volumes[None, :]
+    return res
+
+
+def reference(p: dict) -> np.ndarray:
+    mesh, state = _inputs(p)
+    for _ in range(p["iters"]):
+        old = state.copy()
+        for rk in range(_RK, 0, -1):
+            res = _flux_numpy(state, mesh)
+            state = old - (_DT / rk) * res
+    return state
+
+
+def _flux_kernel(ctx, state, nbr, normals, volumes, res, n):
+    """Per-element residual with SoA gathers of 4 face neighbors."""
+    i = ctx.gtid
+    with ctx.masked(i < n):
+        own = []
+        for v in range(_NVAR):
+            own.append(ctx.load(state, v * n + i))
+        acc = [ctx.const(0.0, np.float64) for _ in range(_NVAR)]
+        for f in range(_NFACE):
+            ctx.alu(2)
+            nb = ctx.load(nbr, i * _NFACE + f)
+            valid = nb >= 0
+            nb_safe = np.where(valid, nb, 0)
+            other = []
+            for v in range(_NVAR):
+                ov = ctx.load(state, v * n + nb_safe)
+                ctx.alu(1)
+                other.append(np.where(valid, ov, own[v]))
+            # Normals in SoA layout ((f, axis)-major) for coalescing.
+            nx = ctx.load(normals, (f * 3 + 0) * n + i)
+            ny = ctx.load(normals, (f * 3 + 1) * n + i)
+            nz = ctx.load(normals, (f * 3 + 2) * n + i)
+            ctx.alu(12)
+            avg = [0.5 * (own[v] + other[v]) for v in range(_NVAR)]
+            vel_n = (avg[1] * nx + avg[2] * ny + avg[3] * nz) / avg[0]
+            ctx.alu(4 * _NVAR)
+            for v in range(_NVAR):
+                acc[v] = acc[v] + vel_n * avg[v] - 0.1 * (other[v] - own[v])
+        vol = ctx.load(volumes, i)
+        ctx.alu(_NVAR)
+        for v in range(_NVAR):
+            ctx.store(res, v * n + i, acc[v] / vol)
+
+
+def _rk_update_kernel(ctx, state, old, res, factor, n):
+    i = ctx.gtid
+    with ctx.masked(i < n):
+        for v in range(_NVAR):
+            o = ctx.load(old, v * n + i)
+            r = ctx.load(res, v * n + i)
+            ctx.alu(2)
+            ctx.store(state, v * n + i, o - factor * r)
+
+
+def _copy_kernel(ctx, dst, src, total):
+    i = ctx.gtid
+    with ctx.masked(i < total):
+        ctx.store(dst, i, ctx.load(src, i))
+
+
+def gpu_run(gpu: GPU, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = gpu_sizes(scale)
+    mesh, state_h = _inputs(p)
+    n = mesh.n_elements
+    state = gpu.to_device(state_h.astype(np.float32).reshape(-1), name="state")
+    old = gpu.alloc(_NVAR * n, dtype=np.float32, name="old")
+    res = gpu.alloc(_NVAR * n, dtype=np.float32, name="res")
+    nbr = gpu.to_device(mesh.neighbors.astype(np.int32).reshape(-1), name="nbr")
+    # (n, 4, 3) -> (4*3, n): SoA so each (face, axis) plane coalesces.
+    normals = gpu.to_device(
+        mesh.face_normals.astype(np.float32).reshape(-1, 12).T.copy().reshape(-1),
+        name="normals",
+    )
+    volumes = gpu.to_device(mesh.volumes.astype(np.float32), name="volumes")
+    grid = (n + _BLOCK - 1) // _BLOCK
+    copy_grid = (_NVAR * n + _BLOCK - 1) // _BLOCK
+    for _ in range(p["iters"]):
+        gpu.launch(_copy_kernel, copy_grid, _BLOCK, old, state, _NVAR * n,
+                   regs_per_thread=8, name="cfd_copy")
+        for rk in range(_RK, 0, -1):
+            gpu.launch(_flux_kernel, grid, _BLOCK, state, nbr, normals,
+                       volumes, res, n, regs_per_thread=40, name="cfd_flux")
+            gpu.launch(_rk_update_kernel, grid, _BLOCK, state, old, res,
+                       _DT / rk, n, regs_per_thread=12, name="cfd_rk_update")
+    return state.to_host().reshape(_NVAR, n)
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = cpu_sizes(scale)
+    mesh, state_h = _inputs(p)
+    n = mesh.n_elements
+    state = machine.array(state_h.reshape(-1), name="state")
+    old = machine.alloc(_NVAR * n, name="old")
+    res = machine.alloc(_NVAR * n, name="res")
+    nbrs = machine.array(mesh.neighbors.reshape(-1), name="nbr")
+    normals = machine.array(mesh.face_normals.reshape(-1), name="normals")
+    volumes = machine.array(mesh.volumes, name="volumes")
+
+    def copy_state(t):
+        for i in t.chunk(_NVAR * n):
+            t.store(old, i, t.load(state, i))
+
+    def flux(t):
+        for i in t.chunk(n):
+            own = t.load(state, np.arange(_NVAR) * n + i)
+            acc = np.zeros(_NVAR)
+            nb4 = t.load(nbrs, i * _NFACE + np.arange(_NFACE))
+            for f in range(_NFACE):
+                nb = int(nb4[f])
+                t.branch(1)
+                if nb >= 0:
+                    other = t.load(state, np.arange(_NVAR) * n + nb)
+                else:
+                    other = own
+                nrm = t.load(normals, (i * _NFACE + f) * 3 + np.arange(3))
+                t.alu(12 + 4 * _NVAR)
+                avg = 0.5 * (own + other)
+                vel_n = (avg[1] * nrm[0] + avg[2] * nrm[1] + avg[3] * nrm[2]) / avg[0]
+                acc += vel_n * avg - 0.1 * (other - own)
+            vol = t.load(volumes, i)
+            t.alu(_NVAR)
+            t.store(res, np.arange(_NVAR) * n + i, acc / vol)
+
+    def rk_update(t, factor):
+        for i in t.chunk(n):
+            idx = np.arange(_NVAR) * n + i
+            o = t.load(old, idx)
+            r = t.load(res, idx)
+            t.alu(2 * _NVAR)
+            t.store(state, idx, o - factor * r)
+
+    for _ in range(p["iters"]):
+        machine.parallel(copy_state)
+        for rk in range(_RK, 0, -1):
+            machine.parallel(flux)
+            machine.parallel(rk_update, _DT / rk)
+    return state.to_host().reshape(_NVAR, n)
+
+
+def check_gpu(result: np.ndarray, scale: SimScale) -> None:
+    # GPU state is float32 (as in the CUDA original); reference is float64.
+    np.testing.assert_allclose(result, reference(gpu_sizes(scale)), rtol=2e-3, atol=1e-5)
+
+
+def check_cpu(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_allclose(result, reference(cpu_sizes(scale)), rtol=1e-5, atol=1e-8)
+
+
+register(
+    WorkloadDef(
+        META, cpu_fn=cpu_run, gpu_fn=gpu_run,
+        check_cpu=check_cpu, check_gpu=check_gpu,
+    )
+)

@@ -1,0 +1,209 @@
+"""Kmeans (Rodinia) — Dense Linear Algebra dwarf, data mining domain.
+
+Paper problem size: 204800 points, 34 features.
+
+The CUDA implementation follows Rodinia's structure: one thread per
+point computes its nearest center each iteration; the feature matrix is
+stored feature-major and bound to **texture memory**, with centers in
+**constant memory** (the optimizations the paper credits for Kmeans'
+insensitivity to memory channels, Fig. 4); new centers are reduced on
+the host, as in Rodinia.  The OpenMP implementation partitions points
+across threads with per-thread partial sums merged serially, reloading
+features per (center, feature) pair exactly as the C loop nest does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.cpusim import Machine
+from repro.gpusim import GPU
+from repro.inputs.points import clustered_points
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="kmeans",
+    suite="rodinia",
+    dwarf="Dense Linear Algebra",
+    domain="Data Mining",
+    paper_size="204800 data points, 34 features",
+    short="KM",
+    description="Iterative nearest-center clustering with host-side center update",
+)
+
+_BLOCK = 128
+
+
+def gpu_sizes(scale: SimScale) -> dict:
+    n, f = {
+        SimScale.TINY: (1024, 8),
+        SimScale.SMALL: (8192, 16),
+        SimScale.MEDIUM: (16384, 34),
+    }[scale]
+    return {"n": n, "f": f, "k": 5, "max_iters": 5}
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    n, f = {
+        SimScale.TINY: (512, 8),
+        SimScale.SMALL: (2048, 16),
+        SimScale.MEDIUM: (8192, 34),
+    }[scale]
+    return {"n": n, "f": f, "k": 5, "max_iters": 5}
+
+
+def _inputs(p: dict):
+    points, _ = clustered_points(p["n"], p["f"], p["k"], seed_tag="kmeans")
+    centers0 = points[: p["k"]].copy()
+    return points.astype(np.float32), centers0.astype(np.float32)
+
+
+def reference(p: dict) -> np.ndarray:
+    """Pure-numpy kmeans with identical init/update; returns membership.
+
+    As in Rodinia, iteration continues until no point changes cluster
+    (capped at ``max_iters``).
+    """
+    points, centers = _inputs(p)
+    membership = np.full(p["n"], -1, dtype=np.int64)
+    for _ in range(p["max_iters"]):
+        d = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_membership = d.argmin(axis=1)
+        changed = int((new_membership != membership).sum())
+        membership = new_membership
+        for c in range(p["k"]):
+            sel = points[membership == c]
+            if sel.size:
+                centers[c] = sel.mean(axis=0)
+        if changed == 0:
+            break
+    return membership
+
+
+def _nearest_center_kernel(ctx, tex_feat, const_centers, membership, n, f, k):
+    i = ctx.gtid
+    with ctx.masked(i < n):
+        best = ctx.const(0, dtype=np.int64)
+        best_dist = ctx.const(np.inf, dtype=np.float64)
+        for c in range(k):
+            dist = ctx.const(0.0, dtype=np.float64)
+            for j in range(f):
+                x = ctx.load(tex_feat, j * n + i)        # feature-major: coalesced
+                cv = ctx.load(const_centers, c * f + j)  # uniform -> broadcast
+                ctx.alu(3)
+                diff = x.astype(np.float64) - cv
+                dist = dist + diff * diff
+            upd = dist < best_dist
+            best_dist = ctx.select(upd, dist, best_dist)
+            best = ctx.select(upd, c, best)
+        ctx.store(membership, i, best)
+
+
+def gpu_run(gpu: GPU, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = gpu_sizes(scale)
+    n, f, k = p["n"], p["f"], p["k"]
+    points, centers0 = _inputs(p)
+    tex_feat = gpu.to_texture(points.T.copy(), name="features")
+    centers = gpu.to_const(centers0, name="centers")
+    membership = gpu.alloc(n, dtype=np.int64, name="membership")
+    grid = (n + _BLOCK - 1) // _BLOCK
+    host_centers = centers0.copy()
+    prev = np.full(n, -1, dtype=np.int64)
+    for _ in range(p["max_iters"]):
+        gpu.launch(
+            _nearest_center_kernel, grid, _BLOCK,
+            tex_feat, centers, membership, n, f, k,
+            regs_per_thread=20, name="kmeans_nearest",
+        )
+        # Host-side center update and convergence test, as in Rodinia.
+        member = membership.to_host()
+        changed = int((member != prev).sum())
+        prev = member
+        for c in range(k):
+            sel = points[member == c]
+            if sel.size:
+                host_centers[c] = sel.mean(axis=0)
+        centers.data[...] = host_centers
+        if changed == 0:
+            break
+    return membership.to_host()
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = cpu_sizes(scale)
+    n, f, k = p["n"], p["f"], p["k"]
+    points, centers0 = _inputs(p)
+    feat = machine.array(points, name="features")
+    centers = machine.array(centers0.copy(), name="centers")
+    membership = machine.alloc(n, dtype=np.int64, name="membership")
+    partial_sum = machine.alloc((machine.n_threads, k, f), name="partial_sum")
+    partial_cnt = machine.alloc((machine.n_threads, k), dtype=np.int64)
+
+    def assign(t):
+        fidx = np.arange(f)
+        local_sum = np.zeros((k, f))
+        local_cnt = np.zeros(k, dtype=np.int64)
+        for i in t.chunk(n):
+            d = np.empty(k)
+            x = None
+            for c in range(k):
+                x = t.load(feat, i * f + fidx)
+                cv = t.load(centers, c * f + fidx)
+                t.alu(3 * f)
+                d[c] = ((x - cv) ** 2).sum()
+            t.branch(k)
+            best = int(d.argmin())
+            t.store(membership, i, best)
+            local_sum[best] += x
+            local_cnt[best] += 1
+        base = t.tid * k * f
+        t.store(partial_sum, base + np.arange(k * f), local_sum.reshape(-1))
+        t.store(partial_cnt, t.tid * k + np.arange(k), local_cnt)
+
+    def update(t):
+        sums = t.load(partial_sum, np.arange(machine.n_threads * k * f))
+        cnts = t.load(partial_cnt, np.arange(machine.n_threads * k))
+        t.alu(sums.size + cnts.size)
+        total = sums.reshape(machine.n_threads, k, f).sum(axis=0)
+        count = cnts.reshape(machine.n_threads, k).sum(axis=0)
+        new_c = t.load(centers, np.arange(k * f)).reshape(k, f)
+        nz = count > 0
+        new_c[nz] = total[nz] / count[nz, None]
+        t.store(centers, np.arange(k * f), new_c.reshape(-1))
+
+    prev = np.full(n, -1, dtype=np.int64)
+    for _ in range(p["max_iters"]):
+        machine.parallel(assign)
+        machine.serial(update)
+        member = membership.to_host()
+        if (member == prev).all():
+            break
+        prev = member
+    return membership.to_host()
+
+
+def _check(result: np.ndarray, p: dict) -> None:
+    expected = reference(p)
+    agreement = float((result == expected).mean())
+    if agreement < 0.999:
+        raise AssertionError(f"kmeans membership agreement {agreement:.4f} < 0.999")
+
+
+def check_gpu(result: np.ndarray, scale: SimScale) -> None:
+    _check(result, gpu_sizes(scale))
+
+
+def check_cpu(result: np.ndarray, scale: SimScale) -> None:
+    _check(result, cpu_sizes(scale))
+
+
+register(
+    WorkloadDef(
+        META,
+        cpu_fn=cpu_run,
+        gpu_fn=gpu_run,
+        check_cpu=check_cpu,
+        check_gpu=check_gpu,
+    )
+)

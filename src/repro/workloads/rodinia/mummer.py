@@ -1,0 +1,208 @@
+"""MUMmerGPU (Rodinia) — Graph Traversal dwarf, bioinformatics.
+
+Paper problem size: 50000 25-character queries.
+
+High-throughput pairwise local sequence alignment (Schatz et al. [28]):
+the reference's suffix tree is built on the CPU with Ukkonen's algorithm
+and shipped to the GPU **encoded in texture memory**; each GPU thread
+walks the tree for one query, reporting its maximal match length.  The
+data-dependent tree walk gives MUMmer the paper's signature pathologies:
+more than 60% of warps with fewer than 5 active threads (Fig. 3), heavy
+global/texture traffic (Fig. 4), the largest working set of either suite
+(Fig. 8), and the biggest code+data footprints (Figs. 11-12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.cpusim import Machine
+from repro.gpusim import GPU
+from repro.inputs.sequences import random_sequence, reads_from_reference
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+from repro.workloads.rodinia.suffixtree import (
+    SIGMA,
+    FlatSuffixTree,
+    SuffixTree,
+    flat_match_length,
+)
+
+META = WorkloadMeta(
+    name="mummer",
+    suite="rodinia",
+    dwarf="Graph Traversal",
+    domain="Bioinformatics",
+    paper_size="50000 25-character queries",
+    short="MUM",
+    description="Suffix-tree sequence alignment; tree in texture memory",
+)
+
+_BLOCK = 128
+_READ_LEN = 25
+
+
+def gpu_sizes(scale: SimScale) -> dict:
+    ref, nq = {
+        SimScale.TINY: (2000, 512),
+        SimScale.SMALL: (12000, 4096),
+        SimScale.MEDIUM: (40000, 12288),
+    }[scale]
+    return {"ref_len": ref, "n_queries": nq, "read_len": _READ_LEN}
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    ref, nq = {
+        SimScale.TINY: (2000, 512),
+        SimScale.SMALL: (8000, 2048),
+        SimScale.MEDIUM: (30000, 8192),
+    }[scale]
+    return {"ref_len": ref, "n_queries": nq, "read_len": _READ_LEN}
+
+
+def _inputs(p: dict):
+    reference_seq = random_sequence(p["ref_len"], seed_tag="mummer-ref")
+    queries = reads_from_reference(
+        reference_seq, p["n_queries"], p["read_len"], error_rate=0.08,
+        seed_tag="mummer-reads",
+    )
+    return reference_seq, queries
+
+
+def reference(p: dict) -> np.ndarray:
+    """Maximal prefix-match length per query, via the object-form tree."""
+    ref_seq, queries = _inputs(p)
+    tree = SuffixTree(ref_seq)
+    return np.array(
+        [tree.match_length(queries[i]) for i in range(queries.shape[0])],
+        dtype=np.int32,
+    )
+
+
+def _mummer_kernel(ctx, children, edge_start, edge_len, text, queries,
+                   out, n_queries, read_len):
+    """One thread = one query; char-at-a-time walk of the flat tree.
+
+    Each iteration either descends to a child (at an edge boundary) or
+    compares one edge character — lanes diverge immediately on their
+    private tree paths, producing the paper's near-empty warps.
+    """
+    q = ctx.gtid
+    with ctx.masked(q < n_queries):
+        node = ctx.const(0, dtype=np.int64)
+        edge_off = ctx.const(0, dtype=np.int64)
+        elen = ctx.const(0, dtype=np.int64)
+        qpos = ctx.const(0, dtype=np.int64)
+        matched = ctx.const(0, dtype=np.int64)
+        alive = ctx.const(True, dtype=bool)
+
+        def cond():
+            return alive & (qpos < read_len)
+
+        for _ in ctx.while_(cond):
+            ctx.alu(2)
+            at_boundary = edge_off >= elen
+            with ctx.masked(at_boundary):
+                qc = ctx.load(queries, q * read_len + np.minimum(qpos, read_len - 1))
+                ctx.alu(2)
+                child = ctx.load(children, node * SIGMA + qc)
+                ok = child > 0
+                node = np.where(ctx.mask & ok, child, node)
+                alive = np.where(ctx.mask, alive & ok, alive)
+                estart_new = ctx.load(edge_start, np.where(child > 0, child, 0))
+                elen_new = ctx.load(edge_len, np.where(child > 0, child, 0))
+                elen = np.where(ctx.mask & ok, elen_new, elen)
+                edge_off = np.where(ctx.mask & ok, 0, edge_off)
+            with ctx.masked(~at_boundary & alive):
+                estart = ctx.load(edge_start, node)
+                rc = ctx.load(text, np.minimum(estart + edge_off, text.size - 1))
+                qc = ctx.load(queries, q * read_len + np.minimum(qpos, read_len - 1))
+                ctx.alu(4)
+                ok = rc == qc
+                matched = np.where(ctx.mask & ok, matched + 1, matched)
+                qpos = np.where(ctx.mask & ok, qpos + 1, qpos)
+                edge_off = np.where(ctx.mask & ok, edge_off + 1, edge_off)
+                alive = np.where(ctx.mask, alive & ok, alive)
+        ctx.store(out, q, matched)
+
+
+def gpu_run(gpu: GPU, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = gpu_sizes(scale)
+    ref_seq, queries = _inputs(p)
+    tree = SuffixTree(ref_seq).flatten()
+    # Tree arrays bound to texture memory, as in MUMmerGPU.
+    children = gpu.to_texture(tree.children, name="tree_children")
+    edge_start = gpu.to_texture(tree.edge_start, name="tree_edge_start")
+    edge_len = gpu.to_texture(tree.edge_len, name="tree_edge_len")
+    text = gpu.to_texture(tree.text, name="tree_text")
+    qdev = gpu.to_device(queries.reshape(-1), name="queries")
+    nq = p["n_queries"]
+    out = gpu.alloc(nq, dtype=np.int64, name="match_len")
+    grid = (nq + _BLOCK - 1) // _BLOCK
+    gpu.launch(_mummer_kernel, grid, _BLOCK, children, edge_start, edge_len,
+               text, qdev, out, nq, p["read_len"],
+               regs_per_thread=28, name="mummergpu_kernel")
+    return out.to_host().astype(np.int32)
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = cpu_sizes(scale)
+    ref_seq, queries = _inputs(p)
+    tree = SuffixTree(ref_seq).flatten()
+    children = machine.array(tree.children, name="tree_children")
+    edge_start = machine.array(tree.edge_start, name="tree_edge_start")
+    edge_len = machine.array(tree.edge_len, name="tree_edge_len")
+    text = machine.array(tree.text, name="tree_text")
+    qarr = machine.array(queries.reshape(-1), name="queries")
+    nq = p["n_queries"]
+    out = machine.alloc(nq, dtype=np.int32, name="match_len")
+    read_len = p["read_len"]
+
+    def match(t):
+        for q in t.chunk(nq):
+            pat = t.load(qarr, q * read_len + np.arange(read_len))
+            node = 0
+            matched = 0
+            i = 0
+            while i < read_len:
+                t.branch(1)
+                child = int(t.load(children, node * SIGMA + int(pat[i])))
+                if child == 0:
+                    break
+                start = int(t.load(edge_start, child))
+                elen = int(t.load(edge_len, child))
+                stop = False
+                k = 0
+                while k < elen and i < read_len:
+                    rc = int(t.load(text, start + k))
+                    t.alu(2)
+                    t.branch(1)
+                    if rc != int(pat[i]):
+                        stop = True
+                        break
+                    k += 1
+                    i += 1
+                    matched += 1
+                if stop:
+                    break
+                node = child
+            t.store(out, q, matched)
+
+    machine.parallel(match)
+    return out.to_host()
+
+
+def check_gpu(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_array_equal(result, reference(gpu_sizes(scale)))
+
+
+def check_cpu(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_array_equal(result, reference(cpu_sizes(scale)))
+
+
+register(
+    WorkloadDef(
+        META, cpu_fn=cpu_run, gpu_fn=gpu_run,
+        check_cpu=check_cpu, check_gpu=check_gpu,
+    )
+)

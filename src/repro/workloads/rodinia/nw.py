@@ -1,0 +1,267 @@
+"""Needleman-Wunsch (Rodinia) — Dynamic Programming dwarf.
+
+Paper problem size: 2048x2048 data points.
+
+Global sequence alignment fills an (n+1)^2 score matrix with wavefront
+dependencies.  The CUDA implementation processes 16x16 tiles along
+anti-diagonals (one launch per tile diagonal, so early/late launches
+have very few blocks); inside a block, 16 threads sweep the tile's 31
+cell anti-diagonals through shared memory with at most 16 lanes active.
+The paper calls out both effects: limited parallelism per launch
+(Section III-B) and copious shared-memory bank conflicts from the
+diagonal strips (Section III-E).  The OpenMP version parallelizes over
+tiles within each anti-diagonal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.cpusim import Machine
+from repro.gpusim import GPU
+from repro.inputs.sequences import blosum_like_matrix, random_sequence
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="nw",
+    suite="rodinia",
+    dwarf="Dynamic Programming",
+    domain="Bioinformatics",
+    paper_size="2048x2048 data points",
+    short="NW",
+    description="Global sequence alignment, wavefront over 16x16 tiles",
+)
+
+_B = 16
+_PENALTY = 10
+
+
+def gpu_sizes(scale: SimScale) -> dict:
+    n = {SimScale.TINY: 64, SimScale.SMALL: 256, SimScale.MEDIUM: 512}[scale]
+    return {"n": n}
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    n = {SimScale.TINY: 64, SimScale.SMALL: 192, SimScale.MEDIUM: 384}[scale]
+    return {"n": n}
+
+
+def _inputs(p: dict):
+    n = p["n"]
+    seq1 = random_sequence(n, seed_tag="nw1")
+    seq2 = random_sequence(n, seed_tag="nw2")
+    sub = blosum_like_matrix()
+    return seq1, seq2, sub
+
+
+def reference(p: dict) -> np.ndarray:
+    """Classic quadratic DP; returns the (n+1)x(n+1) score matrix."""
+    seq1, seq2, sub = _inputs(p)
+    n = p["n"]
+    score = np.zeros((n + 1, n + 1), dtype=np.int32)
+    score[0, :] = -_PENALTY * np.arange(n + 1)
+    score[:, 0] = -_PENALTY * np.arange(n + 1)
+    for i in range(1, n + 1):
+        match = sub[seq1[i - 1], seq2]  # row of substitution scores
+        row_prev = score[i - 1]
+        row = score[i]
+        for j in range(1, n + 1):
+            row[j] = max(
+                row_prev[j - 1] + match[j - 1],
+                row_prev[j] - _PENALTY,
+                row[j - 1] - _PENALTY,
+            )
+    return score
+
+
+def _nw_tile_kernel(ctx, score, seq1d, seq2d, subd, n, diag, is_lower):
+    """One block = one 16x16 tile on tile-anti-diagonal ``diag``.
+
+    16 threads sweep the 31 cell anti-diagonals; thread t owns tile
+    column t.  The (17x17) shared tile carries the halo row/column.
+    """
+    nb = n // _B
+    if is_lower:
+        ty_tile = (nb - 1) - ctx.bidx
+        tx_tile = diag - ty_tile
+    else:
+        ty_tile = diag - ctx.bidx
+        tx_tile = ctx.bidx
+    t_dim = _B + 1
+    tile = ctx.shared((t_dim, t_dim), dtype=np.int32, name="tile")
+    lane = ctx.tidx  # 16 threads
+
+    # Stage halo: top row and left column of the tile from global memory.
+    ctx.alu(6)
+    row0 = ty_tile * _B
+    col0 = tx_tile * _B
+    # Lane t loads halo row cell t+1 and halo column cell t+1.
+    ctx.store(tile, lane + 1,
+              ctx.load(score, row0 * (n + 1) + col0 + lane + 1))
+    ctx.store(tile, (lane + 1) * t_dim,
+              ctx.load(score, (row0 + lane + 1) * (n + 1) + col0))
+    with ctx.masked(lane == 0):
+        ctx.store(tile, ctx.const(0, np.int64),
+                  ctx.load(score, row0 * (n + 1) + col0))
+    ctx.sync()
+
+    # Per-lane sequence characters (lane t -> tile column t).
+    c2 = ctx.load(seq2d, col0 + lane)  # query char for this lane's column
+    for step in range(2 * _B - 1):
+        i = step - lane  # tile row handled by this lane at this step
+        on_diag = (i >= 0) & (i < _B)
+        ctx.alu(3)
+        with ctx.masked(on_diag):
+            iy = np.clip(i, 0, _B - 1)
+            c1 = ctx.load(seq1d, np.clip(row0 + iy, 0, n - 1))
+            ctx.alu(2)
+            sc = ctx.load(subd, c1 * 4 + c2)
+            nw = ctx.load(tile, iy * t_dim + lane)
+            up = ctx.load(tile, iy * t_dim + lane + 1)
+            lf = ctx.load(tile, (iy + 1) * t_dim + lane)
+            ctx.alu(5)
+            best = np.maximum(nw + sc, np.maximum(up - _PENALTY, lf - _PENALTY))
+            ctx.store(tile, (iy + 1) * t_dim + lane + 1, best)
+        ctx.sync()
+
+    # Write the tile body back to the global score matrix.
+    for r in range(_B):
+        ctx.alu(2)
+        ctx.store(score, (row0 + r + 1) * (n + 1) + col0 + lane + 1,
+                  ctx.load(tile, (r + 1) * t_dim + lane + 1))
+
+
+def gpu_run(gpu: GPU, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    """Version 2 (released): tiled wavefront through shared memory."""
+    p = gpu_sizes(scale)
+    n = p["n"]
+    seq1, seq2, sub = _inputs(p)
+    nb = n // _B
+    score_init = np.zeros((n + 1, n + 1), dtype=np.int32)
+    score_init[0, :] = -_PENALTY * np.arange(n + 1)
+    score_init[:, 0] = -_PENALTY * np.arange(n + 1)
+    score = gpu.to_device(score_init, name="score")
+    seq1d = gpu.to_device(seq1.astype(np.int32), name="seq1")
+    seq2d = gpu.to_device(seq2.astype(np.int32), name="seq2")
+    subd = gpu.to_device(sub.reshape(-1), name="subst")
+    # Upper-left wavefront, then lower-right, as in Rodinia.
+    for diag in range(nb):
+        gpu.launch(_nw_tile_kernel, diag + 1, _B, score, seq1d, seq2d, subd,
+                   n, diag, False, regs_per_thread=20, name="nw_upper")
+    for diag in range(nb, 2 * nb - 1):
+        n_blocks = 2 * nb - 1 - diag
+        gpu.launch(_nw_tile_kernel, n_blocks, _B, score, seq1d, seq2d, subd,
+                   n, diag, True, regs_per_thread=20, name="nw_lower")
+    return score.to_host().reshape(n + 1, n + 1)
+
+
+# ----------------------------------------------------------------------
+# Version 1: one kernel launch per *cell* anti-diagonal, all accesses to
+# the global score matrix (the paper's "incremental code versions of
+# ... Needleman-Wunsch" starting point).
+# ----------------------------------------------------------------------
+def _nw_naive_kernel(ctx, score, seq1d, seq2d, subd, n, diag):
+    """Cells (i, j) with i + j == diag + 2, i,j in [1, n]."""
+    lo = max(1, diag + 2 - n)
+    hi = min(n, diag + 1)
+    count = hi - lo + 1
+    k = ctx.gtid
+    with ctx.masked(k < count):
+        ctx.alu(6)
+        i = lo + k
+        j = diag + 2 - i
+        i_c = np.clip(i, 1, n)
+        j_c = np.clip(j, 1, n)
+        c1 = ctx.load(seq1d, i_c - 1)
+        c2 = ctx.load(seq2d, j_c - 1)
+        ctx.alu(2)
+        sc = ctx.load(subd, c1 * 4 + c2)
+        w = n + 1
+        nw = ctx.load(score, (i_c - 1) * w + j_c - 1)
+        up = ctx.load(score, (i_c - 1) * w + j_c)
+        lf = ctx.load(score, i_c * w + j_c - 1)
+        ctx.alu(5)
+        best = np.maximum(nw + sc, np.maximum(up - _PENALTY, lf - _PENALTY))
+        ctx.store(score, i_c * w + j_c, best)
+
+
+def gpu_run_v1(gpu: GPU, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = gpu_sizes(scale)
+    n = p["n"]
+    seq1, seq2, sub = _inputs(p)
+    score_init = np.zeros((n + 1, n + 1), dtype=np.int32)
+    score_init[0, :] = -_PENALTY * np.arange(n + 1)
+    score_init[:, 0] = -_PENALTY * np.arange(n + 1)
+    score = gpu.to_device(score_init, name="score")
+    seq1d = gpu.to_device(seq1.astype(np.int32), name="seq1")
+    seq2d = gpu.to_device(seq2.astype(np.int32), name="seq2")
+    subd = gpu.to_device(sub.reshape(-1), name="subst")
+    block = 128
+    for diag in range(2 * n - 1):
+        lo = max(1, diag + 2 - n)
+        hi = min(n, diag + 1)
+        count = hi - lo + 1
+        gpu.launch(_nw_naive_kernel, (count + block - 1) // block, block,
+                   score, seq1d, seq2d, subd, n, diag,
+                   regs_per_thread=14, name="nw_naive_v1")
+    return score.to_host().reshape(n + 1, n + 1)
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = cpu_sizes(scale)
+    n = p["n"]
+    seq1, seq2, sub = _inputs(p)
+    nb = n // _B
+    score_init = np.zeros((n + 1, n + 1), dtype=np.int32)
+    score_init[0, :] = -_PENALTY * np.arange(n + 1)
+    score_init[:, 0] = -_PENALTY * np.arange(n + 1)
+    score = machine.array(score_init, name="score")
+    s1 = machine.array(seq1.astype(np.int32), name="seq1")
+    s2 = machine.array(seq2.astype(np.int32), name="seq2")
+    subm = machine.array(sub.reshape(-1), name="subst")
+    w = n + 1
+
+    def do_tile(t, ty, tx):
+        row0, col0 = ty * _B, tx * _B
+        chars2 = t.load(s2, col0 + np.arange(_B))
+        for i in range(_B):
+            c1 = int(t.load(s1, np.array([row0 + i]))[0])
+            scores = t.load(subm, c1 * 4 + chars2)
+            nw_row = t.load(score, (row0 + i) * w + col0 + np.arange(_B + 1))
+            left = int(t.load(score, np.array([(row0 + i + 1) * w + col0]))[0])
+            t.alu(5 * _B)
+            t.branch(_B)
+            out = np.empty(_B, dtype=np.int64)
+            for j in range(_B):
+                best = max(nw_row[j] + scores[j], nw_row[j + 1] - _PENALTY,
+                           left - _PENALTY)
+                out[j] = best
+                left = best
+            t.store(score, (row0 + i + 1) * w + col0 + 1 + np.arange(_B), out)
+
+    def diag_worker(t, tiles):
+        for k in range(t.tid, len(tiles), t.nthreads):
+            do_tile(t, *tiles[k])
+
+    for d in range(2 * nb - 1):
+        tiles = [(ty, d - ty) for ty in range(nb) if 0 <= d - ty < nb]
+        machine.parallel(diag_worker, tiles)
+    return score.to_host().reshape(w, w)
+
+
+def check_gpu(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_array_equal(result, reference(gpu_sizes(scale)))
+
+
+def check_cpu(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_array_equal(result, reference(cpu_sizes(scale)))
+
+
+register(
+    WorkloadDef(
+        META, cpu_fn=cpu_run, gpu_fn=gpu_run,
+        gpu_versions={1: gpu_run_v1, 2: gpu_run},
+        check_cpu=check_cpu, check_gpu=check_gpu,
+    )
+)

@@ -1,0 +1,419 @@
+"""SRAD (Rodinia) — Structured Grid dwarf, image processing.
+
+Paper problem size: 512x512 data points.
+
+Speckle Reducing Anisotropic Diffusion despeckles ultrasound imagery.
+Each iteration: (1) a reduction computes the ROI mean/variance for the
+diffusion threshold q0; (2) kernel 1 computes per-pixel gradients and
+the clamped diffusion coefficient; (3) kernel 2 applies the divergence
+update.  Two incremental versions are provided, reproducing Table III:
+
+- **Version 1** reads all neighbors from global memory.
+- **Version 2** stages 16x16 tiles (with halo) in shared memory, raising
+  the shared-memory instruction fraction and the IPC, exactly the
+  optimization step Table III documents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.cpusim import Machine
+from repro.gpusim import GPU
+from repro.inputs.images import speckled_ultrasound
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="srad",
+    suite="rodinia",
+    dwarf="Structured Grid",
+    domain="Image Processing",
+    paper_size="512x512 data points",
+    short="SRAD",
+    description="Speckle-reducing anisotropic diffusion with tiled shared memory",
+)
+
+_TILE = 16
+_LAMBDA = 0.5
+
+
+def gpu_sizes(scale: SimScale) -> dict:
+    r = {SimScale.TINY: 64, SimScale.SMALL: 160, SimScale.MEDIUM: 320}[scale]
+    return {"rows": r, "cols": r, "iters": 2}
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    r = {SimScale.TINY: 32, SimScale.SMALL: 64, SimScale.MEDIUM: 128}[scale]
+    return {"rows": r, "cols": r, "iters": 2}
+
+
+def _inputs(p: dict) -> np.ndarray:
+    img = speckled_ultrasound(p["rows"], p["cols"], seed_tag="srad")
+    return np.exp(img).astype(np.float32)
+
+
+def _srad_step_numpy(img: np.ndarray) -> np.ndarray:
+    """One SRAD iteration (clamped borders), the module's reference."""
+    mean = img.mean()
+    var = img.var()
+    q0_sq = var / (mean * mean)
+
+    def shift(a, dy, dx):
+        out = np.roll(a, (dy, dx), axis=(0, 1))
+        if dy == 1:
+            out[0] = a[0]
+        if dy == -1:
+            out[-1] = a[-1]
+        if dx == 1:
+            out[:, 0] = a[:, 0]
+        if dx == -1:
+            out[:, -1] = a[:, -1]
+        return out
+
+    n = shift(img, 1, 0) - img
+    s = shift(img, -1, 0) - img
+    w = shift(img, 0, 1) - img
+    e = shift(img, 0, -1) - img
+    g2 = (n * n + s * s + w * w + e * e) / (img * img)
+    lap = (n + s + w + e) / img
+    num = 0.5 * g2 - (1.0 / 16.0) * lap * lap
+    den = (1.0 + 0.25 * lap) ** 2
+    q_sq = num / den
+    c = 1.0 / (1.0 + (q_sq - q0_sq) / (q0_sq * (1.0 + q0_sq)))
+    c = np.clip(c, 0.0, 1.0)
+    c_s = shift(c, -1, 0)
+    c_e = shift(c, 0, -1)
+    d = c_s * s + c * n + c_e * e + c * w
+    return (img + (_LAMBDA / 4.0) * d).astype(np.float32)
+
+
+def reference(p: dict) -> np.ndarray:
+    img = _inputs(p)
+    for _ in range(p["iters"]):
+        img = _srad_step_numpy(img)
+    return img
+
+
+# ----------------------------------------------------------------------
+# GPU kernels
+# ----------------------------------------------------------------------
+def _reduce_kernel(ctx, img, partial_sum, partial_sq, n):
+    """Block tree-reduction of sum and sum-of-squares (shared memory)."""
+    i = ctx.gtid
+    smem = ctx.shared(ctx.nthreads, dtype=np.float64, name="red")
+    with ctx.masked(i < n):
+        v = ctx.load(img, i).astype(np.float64)
+    total = ctx.block_reduce_sum(np.where(ctx.mask & (i < n), v, 0.0), smem)
+    with ctx.masked(i < n):
+        ctx.alu(1)
+        v2 = v * v
+    total_sq = ctx.block_reduce_sum(np.where(ctx.mask & (i < n), v2, 0.0), smem)
+    with ctx.masked(ctx.tidx == 0):
+        ctx.store(partial_sum, ctx.const(ctx.bidx, np.int64), total)
+        ctx.store(partial_sq, ctx.const(ctx.bidx, np.int64), total_sq)
+
+
+def _clamped(v, lo, hi):
+    return np.clip(v, lo, hi)
+
+
+def _srad_kernel1_v1(ctx, img, coeff, dn, ds, dw, de, rows, cols, q0_sq):
+    """Gradient + diffusion coefficient, all-global version."""
+    y, x = ctx.gy, ctx.gx
+    inside = (y < rows) & (x < cols)
+    with ctx.masked(inside):
+        ctx.alu(8)  # clamped neighbor index arithmetic
+        here = y * cols + x
+        c0 = ctx.load(img, here)
+        vn = ctx.load(img, _clamped(y - 1, 0, rows - 1) * cols + x)
+        vs = ctx.load(img, _clamped(y + 1, 0, rows - 1) * cols + x)
+        vw = ctx.load(img, y * cols + _clamped(x - 1, 0, cols - 1))
+        ve = ctx.load(img, y * cols + _clamped(x + 1, 0, cols - 1))
+        ctx.alu(38)  # gradient + q computation (three multi-cycle divides)
+        n = vn - c0
+        s = vs - c0
+        w = vw - c0
+        e = ve - c0
+        g2 = (n * n + s * s + w * w + e * e) / (c0 * c0)
+        lap = (n + s + w + e) / c0
+        num = 0.5 * g2 - (1.0 / 16.0) * lap * lap
+        den = (1.0 + 0.25 * lap) ** 2
+        q_sq = num / den
+        ctx.alu(12)  # coefficient: two more divides + clamp
+        c = 1.0 / (1.0 + (q_sq - q0_sq) / (q0_sq * (1.0 + q0_sq)))
+        c = np.clip(c, 0.0, 1.0)
+        ctx.store(coeff, here, c)
+        ctx.store(dn, here, n)
+        ctx.store(ds, here, s)
+        ctx.store(dw, here, w)
+        ctx.store(de, here, e)
+
+
+def _srad_kernel2_v1(ctx, img, coeff, dn, ds, dw, de, rows, cols):
+    y, x = ctx.gy, ctx.gx
+    inside = (y < rows) & (x < cols)
+    with ctx.masked(inside):
+        ctx.alu(6)
+        here = y * cols + x
+        c0 = ctx.load(coeff, here)
+        cs = ctx.load(coeff, _clamped(y + 1, 0, rows - 1) * cols + x)
+        ce = ctx.load(coeff, y * cols + _clamped(x + 1, 0, cols - 1))
+        n = ctx.load(dn, here)
+        s = ctx.load(ds, here)
+        w = ctx.load(dw, here)
+        e = ctx.load(de, here)
+        v = ctx.load(img, here)
+        ctx.alu(9)
+        d = cs * s + c0 * n + ce * e + c0 * w
+        ctx.store(img, here, v + (_LAMBDA / 4.0) * d)
+
+
+def _srad_kernel1_v2(ctx, img, coeff, dn, ds, dw, de, rows, cols, q0_sq):
+    """Tiled version: 16x16 image tile + halo staged through shared memory.
+
+    Like Rodinia's srad_cuda_1, the block keeps six shared arrays (the
+    haloed image tile plus per-direction gradient tiles and the
+    coefficient tile, ~6 kB total) — the footprint that makes SRAD
+    prefer Fermi's shared-bias configuration (Fig. 5).
+    """
+    y, x = ctx.gy, ctx.gx
+    inside = (y < rows) & (x < cols)
+    t = _TILE + 2
+    tile = ctx.shared((t, t), dtype=np.float32, name="tile")
+    sh_n = ctx.shared((_TILE, _TILE), dtype=np.float32, name="north")
+    sh_s = ctx.shared((_TILE, _TILE), dtype=np.float32, name="south")
+    sh_w = ctx.shared((_TILE, _TILE), dtype=np.float32, name="west")
+    sh_e = ctx.shared((_TILE, _TILE), dtype=np.float32, name="east")
+    sh_c = ctx.shared((_TILE, _TILE), dtype=np.float32, name="coeff")
+    ctx.alu(6)
+    lin = (ctx.ty + 1) * t + (ctx.tx + 1)
+    flat = ctx.ty * _TILE + ctx.tx
+    with ctx.masked(inside):
+        c0 = ctx.load(img, y * cols + x)
+        ctx.store(tile, lin, c0)
+        # Edge lanes also stage their halo cells (clamped).
+        with ctx.masked(ctx.ty == 0):
+            ctx.store(tile, ctx.tx + 1,
+                      ctx.load(img, _clamped(y - 1, 0, rows - 1) * cols + x))
+        with ctx.masked(ctx.ty == _TILE - 1):
+            ctx.store(tile, (t - 1) * t + ctx.tx + 1,
+                      ctx.load(img, _clamped(y + 1, 0, rows - 1) * cols + x))
+        with ctx.masked(ctx.tx == 0):
+            ctx.store(tile, (ctx.ty + 1) * t,
+                      ctx.load(img, y * cols + _clamped(x - 1, 0, cols - 1)))
+        with ctx.masked(ctx.tx == _TILE - 1):
+            ctx.store(tile, (ctx.ty + 1) * t + t - 1,
+                      ctx.load(img, y * cols + _clamped(x + 1, 0, cols - 1)))
+    ctx.sync()
+    with ctx.masked(inside):
+        # Clamp at global image borders: reuse center when outside.
+        ctx.alu(8)
+        up = np.where(y == 0, lin, lin - t)
+        dn_i = np.where(y == rows - 1, lin, lin + t)
+        lf = np.where(x == 0, lin, lin - 1)
+        rt = np.where(x == cols - 1, lin, lin + 1)
+        c0 = ctx.load(tile, lin)
+        vn = ctx.load(tile, up)
+        vs = ctx.load(tile, dn_i)
+        vw = ctx.load(tile, lf)
+        ve = ctx.load(tile, rt)
+        ctx.alu(38)  # gradient + q computation (three multi-cycle divides)
+        n = vn - c0
+        s = vs - c0
+        w = vw - c0
+        e = ve - c0
+        g2 = (n * n + s * s + w * w + e * e) / (c0 * c0)
+        lap = (n + s + w + e) / c0
+        num = 0.5 * g2 - (1.0 / 16.0) * lap * lap
+        den = (1.0 + 0.25 * lap) ** 2
+        q_sq = num / den
+        ctx.alu(12)  # coefficient: two more divides + clamp
+        c = 1.0 / (1.0 + (q_sq - q0_sq) / (q0_sq * (1.0 + q0_sq)))
+        c = np.clip(c, 0.0, 1.0)
+        # Stage results in shared (as srad_cuda_1 does) ...
+        ctx.store(sh_c, flat, c)
+        ctx.store(sh_n, flat, n)
+        ctx.store(sh_s, flat, s)
+        ctx.store(sh_w, flat, w)
+        ctx.store(sh_e, flat, e)
+    ctx.sync()
+    with ctx.masked(inside):
+        # ... then write back to the global arrays.
+        here = y * cols + x
+        ctx.store(coeff, here, ctx.load(sh_c, flat))
+        ctx.store(dn, here, ctx.load(sh_n, flat))
+        ctx.store(ds, here, ctx.load(sh_s, flat))
+        ctx.store(dw, here, ctx.load(sh_w, flat))
+        ctx.store(de, here, ctx.load(sh_e, flat))
+
+
+def _srad_kernel2_v2(ctx, img, coeff, dn, ds, dw, de, rows, cols):
+    """Tiled update: stage the coefficient tile + halo in shared memory."""
+    y, x = ctx.gy, ctx.gx
+    inside = (y < rows) & (x < cols)
+    t = _TILE + 2
+    ctile = ctx.shared((t, t), dtype=np.float32, name="ctile")
+    ctx.alu(4)
+    lin = (ctx.ty + 1) * t + (ctx.tx + 1)
+    with ctx.masked(inside):
+        here = y * cols + x
+        ctx.store(ctile, lin, ctx.load(coeff, here))
+        with ctx.masked(ctx.ty == _TILE - 1):
+            ctx.store(ctile, (t - 1) * t + ctx.tx + 1,
+                      ctx.load(coeff, _clamped(y + 1, 0, rows - 1) * cols + x))
+        with ctx.masked(ctx.tx == _TILE - 1):
+            ctx.store(ctile, (ctx.ty + 1) * t + t - 1,
+                      ctx.load(coeff, y * cols + _clamped(x + 1, 0, cols - 1)))
+    ctx.sync()
+    with ctx.masked(inside):
+        ctx.alu(4)
+        dn_i = np.where(y == rows - 1, lin, lin + t)
+        rt = np.where(x == cols - 1, lin, lin + 1)
+        c0 = ctx.load(ctile, lin)
+        cs = ctx.load(ctile, dn_i)
+        ce = ctx.load(ctile, rt)
+        here = y * cols + x
+        n = ctx.load(dn, here)
+        s = ctx.load(ds, here)
+        w = ctx.load(dw, here)
+        e = ctx.load(de, here)
+        v = ctx.load(img, here)
+        ctx.alu(9)
+        d = cs * s + c0 * n + ce * e + c0 * w
+        ctx.store(img, here, v + (_LAMBDA / 4.0) * d)
+
+
+def _gpu_run_version(gpu: GPU, scale: SimScale, version: int) -> np.ndarray:
+    p = gpu_sizes(scale)
+    rows, cols = p["rows"], p["cols"]
+    n = rows * cols
+    img = gpu.to_device(_inputs(p), name="image")
+    coeff = gpu.alloc(n, name="coeff")
+    dn = gpu.alloc(n, name="dn")
+    ds = gpu.alloc(n, name="ds")
+    dw = gpu.alloc(n, name="dw")
+    de = gpu.alloc(n, name="de")
+    red_block = 256
+    red_grid = (n + red_block - 1) // red_block
+    psum = gpu.alloc(red_grid, dtype=np.float64, name="psum")
+    psq = gpu.alloc(red_grid, dtype=np.float64, name="psq")
+    k1 = _srad_kernel1_v1 if version == 1 else _srad_kernel1_v2
+    k2 = _srad_kernel2_v1 if version == 1 else _srad_kernel2_v2
+    gx = (cols + _TILE - 1) // _TILE
+    gy = (rows + _TILE - 1) // _TILE
+    for _ in range(p["iters"]):
+        gpu.launch(_reduce_kernel, red_grid, red_block, img, psum, psq, n,
+                   regs_per_thread=14, name="srad_reduce")
+        mean = psum.data.sum() / n
+        var = psq.data.sum() / n - mean * mean
+        q0_sq = var / (mean * mean)
+        gpu.launch(k1, (gx, gy), (_TILE, _TILE), img, coeff, dn, ds, dw, de,
+                   rows, cols, q0_sq, regs_per_thread=24,
+                   name=f"srad_k1_v{version}")
+        gpu.launch(k2, (gx, gy), (_TILE, _TILE), img, coeff, dn, ds, dw, de,
+                   rows, cols, regs_per_thread=20, name=f"srad_k2_v{version}")
+    return img.to_host().reshape(rows, cols)
+
+
+def gpu_run_v1(gpu: GPU, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    return _gpu_run_version(gpu, scale, 1)
+
+
+def gpu_run(gpu: GPU, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    """The released (v2, shared-memory tiled) implementation."""
+    return _gpu_run_version(gpu, scale, 2)
+
+
+# ----------------------------------------------------------------------
+# CPU implementation
+# ----------------------------------------------------------------------
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL) -> np.ndarray:
+    p = cpu_sizes(scale)
+    rows, cols = p["rows"], p["cols"]
+    n = rows * cols
+    img = machine.array(_inputs(p), name="image")
+    coeff = machine.alloc(n, dtype=np.float32, name="coeff")
+    grads = machine.alloc((4, n), dtype=np.float32, name="grads")
+    partial = machine.alloc((machine.n_threads, 2), name="partial")
+    q0_box = {"v": 0.0}
+
+    def local_stats(t):
+        s = sq = 0.0
+        for r in t.chunk(rows):
+            v = t.load(img, r * cols + np.arange(cols))
+            t.alu(2 * cols)
+            s += v.sum()
+            sq += (v.astype(np.float64) ** 2).sum()
+        t.store(partial, np.array([t.tid * 2, t.tid * 2 + 1]), np.array([s, sq]))
+
+    def gradients(t):
+        xs = np.arange(cols)
+        for r in t.chunk(rows):
+            c0 = t.load(img, r * cols + xs)
+            vn = t.load(img, max(r - 1, 0) * cols + xs)
+            vs = t.load(img, min(r + 1, rows - 1) * cols + xs)
+            vw = t.load(img, r * cols + np.clip(xs - 1, 0, cols - 1))
+            ve = t.load(img, r * cols + np.clip(xs + 1, 0, cols - 1))
+            t.alu(30 * cols)
+            nn = vn - c0
+            ss = vs - c0
+            ww = vw - c0
+            ee = ve - c0
+            g2 = (nn * nn + ss * ss + ww * ww + ee * ee) / (c0 * c0)
+            lap = (nn + ss + ww + ee) / c0
+            num = 0.5 * g2 - (1.0 / 16.0) * lap * lap
+            den = (1.0 + 0.25 * lap) ** 2
+            q_sq = num / den
+            q0_sq = q0_box["v"]
+            c = 1.0 / (1.0 + (q_sq - q0_sq) / (q0_sq * (1.0 + q0_sq)))
+            t.store(coeff, r * cols + xs, np.clip(c, 0.0, 1.0))
+            t.store(grads, 0 * n + r * cols + xs, nn)
+            t.store(grads, 1 * n + r * cols + xs, ss)
+            t.store(grads, 2 * n + r * cols + xs, ww)
+            t.store(grads, 3 * n + r * cols + xs, ee)
+
+    def update(t):
+        xs = np.arange(cols)
+        for r in t.chunk(rows):
+            c0 = t.load(coeff, r * cols + xs)
+            cs = t.load(coeff, min(r + 1, rows - 1) * cols + xs)
+            ce = t.load(coeff, r * cols + np.clip(xs + 1, 0, cols - 1))
+            nn = t.load(grads, 0 * n + r * cols + xs)
+            ss = t.load(grads, 1 * n + r * cols + xs)
+            ww = t.load(grads, 2 * n + r * cols + xs)
+            ee = t.load(grads, 3 * n + r * cols + xs)
+            v = t.load(img, r * cols + xs)
+            t.alu(9 * cols)
+            d = cs * ss + c0 * nn + ce * ee + c0 * ww
+            t.store(img, r * cols + xs, v + (_LAMBDA / 4.0) * d)
+
+    for _ in range(p["iters"]):
+        machine.parallel(local_stats)
+        totals = partial.data.sum(axis=0)
+        mean = totals[0] / n
+        var = totals[1] / n - mean * mean
+        q0_box["v"] = var / (mean * mean)
+        machine.parallel(gradients)
+        machine.parallel(update)
+    return img.to_host().reshape(rows, cols)
+
+
+def check_gpu(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_allclose(result, reference(gpu_sizes(scale)), rtol=2e-3)
+
+
+def check_cpu(result: np.ndarray, scale: SimScale) -> None:
+    np.testing.assert_allclose(result, reference(cpu_sizes(scale)), rtol=2e-3)
+
+
+register(
+    WorkloadDef(
+        META,
+        cpu_fn=cpu_run,
+        gpu_fn=gpu_run,
+        gpu_versions={1: gpu_run_v1, 2: gpu_run},
+        check_cpu=check_cpu,
+        check_gpu=check_gpu,
+    )
+)

@@ -1,0 +1,224 @@
+"""StreamCluster (Rodinia and Parsec) — Dense Linear Algebra dwarf.
+
+Paper problem sizes: 65536 points, 256 dimensions (Rodinia);
+16384 points per block (Parsec sim-large).
+
+Online clustering: for each candidate center, the pgain kernel computes
+every point's potential savings from switching to the candidate; a
+host-side decision opens the center if total gain is positive.  The
+candidate's coordinates are staged in **shared memory** (the GPU port
+the paper describes as "relatively easy to reorganize for the GPU",
+Section V-B).  StreamCluster is the one workload in *both* suites —
+Figure 6 labels it "(R, P)" — so this module registers the CPU
+implementation for Rodinia and :mod:`repro.workloads.parsec` aliases it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SimScale
+from repro.cpusim import Machine
+from repro.gpusim import GPU
+from repro.inputs.points import clustered_points
+from repro.workloads.base import WorkloadDef, WorkloadMeta, register
+
+META = WorkloadMeta(
+    name="streamcluster",
+    suite="rodinia",
+    dwarf="Dense Linear Algebra",
+    domain="Data Mining",
+    paper_size="65536 points, 256 dimensions",
+    short="SC",
+    description="Online clustering: pgain candidate evaluation kernel",
+)
+
+_BLOCK = 128
+
+
+def gpu_sizes(scale: SimScale) -> dict:
+    n, d = {
+        SimScale.TINY: (1024, 16),
+        SimScale.SMALL: (8192, 32),
+        SimScale.MEDIUM: (16384, 64),
+    }[scale]
+    return {"n": n, "dims": d, "n_candidates": 8}
+
+
+def cpu_sizes(scale: SimScale) -> dict:
+    n, d = {
+        SimScale.TINY: (512, 16),
+        SimScale.SMALL: (2048, 32),
+        SimScale.MEDIUM: (8192, 64),
+    }[scale]
+    return {"n": n, "dims": d, "n_candidates": 8}
+
+
+def _inputs(p: dict):
+    points, _ = clustered_points(p["n"], p["dims"], 8, seed_tag="streamcluster")
+    rng_candidates = np.linspace(0, p["n"] - 1, p["n_candidates"]).astype(np.int64)
+    return points.astype(np.float32), rng_candidates
+
+
+def reference(p: dict):
+    """Greedy facility assignment; returns (assignment, final cost)."""
+    points, candidates = _inputs(p)
+    points = points.astype(np.float64)
+    n = p["n"]
+    assign = np.zeros(n, dtype=np.int64)        # all points on center 0
+    cost = ((points - points[0]) ** 2).sum(axis=1)
+    centers = [0]
+    for c in candidates[1:]:
+        d = ((points - points[c]) ** 2).sum(axis=1)
+        gain = (cost - d).clip(min=0.0).sum()
+        open_cost = 0.1 * cost.mean() * n / len(candidates)
+        if gain > open_cost:
+            better = d < cost
+            assign[better] = c
+            cost = np.minimum(cost, d)
+            centers.append(int(c))
+    return assign, float(cost.sum())
+
+
+def _pgain_kernel(ctx, pts, candidate_coords, cost, gain_partial, n, dims):
+    """Per-point savings vs. the candidate center (coords in shared)."""
+    i = ctx.gtid
+    # Cooperative staging of the candidate's coordinates.
+    cand = ctx.shared(dims, dtype=np.float32, name="candidate")
+    lanes = ctx.tidx
+    with ctx.masked(lanes < dims):
+        ctx.store(cand, np.minimum(lanes, dims - 1),
+                  ctx.load(candidate_coords, np.minimum(lanes, dims - 1)))
+    ctx.sync()
+    smem = ctx.shared(ctx.nthreads, dtype=np.float64, name="red")
+    with ctx.masked(i < n):
+        d = ctx.const(0.0, dtype=np.float64)
+        for j in range(dims):
+            x = ctx.load(pts, j * n + i)   # dim-major: coalesced
+            c = ctx.load(cand, j)
+            ctx.alu(3)
+            diff = x.astype(np.float64) - c
+            d = d + diff * diff
+        old = ctx.load(cost, i)
+        ctx.alu(2)
+        saving = np.maximum(old - d, 0.0)
+    total = ctx.block_reduce_sum(
+        np.where(ctx.mask & (i < n), saving, 0.0), smem
+    )
+    with ctx.masked(ctx.tidx == 0):
+        ctx.store(gain_partial, ctx.const(ctx.bidx, np.int64), total)
+
+
+def _reassign_kernel(ctx, pts, candidate_coords, cost, assign, cand_id, n, dims):
+    i = ctx.gtid
+    cand = ctx.shared(dims, dtype=np.float32, name="candidate")
+    lanes = ctx.tidx
+    with ctx.masked(lanes < dims):
+        ctx.store(cand, np.minimum(lanes, dims - 1),
+                  ctx.load(candidate_coords, np.minimum(lanes, dims - 1)))
+    ctx.sync()
+    with ctx.masked(i < n):
+        d = ctx.const(0.0, dtype=np.float64)
+        for j in range(dims):
+            x = ctx.load(pts, j * n + i)   # dim-major: coalesced
+            c = ctx.load(cand, j)
+            ctx.alu(3)
+            diff = x.astype(np.float64) - c
+            d = d + diff * diff
+        old = ctx.load(cost, i)
+        better = d < old
+        ctx.branch()
+        with ctx.masked(better):
+            ctx.store(cost, i, d)
+            ctx.store(assign, i, cand_id)
+
+
+def gpu_run(gpu: GPU, scale: SimScale = SimScale.SMALL):
+    p = gpu_sizes(scale)
+    n, dims = p["n"], p["dims"]
+    points, candidates = _inputs(p)
+    pts = gpu.to_device(points.T.copy().reshape(-1), name="points")  # dim-major
+    pts64 = points.astype(np.float64)
+    cost0 = ((pts64 - pts64[0]) ** 2).sum(axis=1)
+    cost = gpu.to_device(cost0, name="cost")
+    assign = gpu.alloc(n, dtype=np.int64, name="assign")
+    grid = (n + _BLOCK - 1) // _BLOCK
+    gain_partial = gpu.alloc(grid, dtype=np.float64, name="gain")
+    for c in candidates[1:]:
+        cc = gpu.to_device(points[c], name="candidate")
+        gpu.launch(_pgain_kernel, grid, _BLOCK, pts, cc, cost, gain_partial,
+                   n, dims, regs_per_thread=22, name="sc_pgain")
+        gain = gain_partial.to_host().sum()
+        open_cost = 0.1 * cost.to_host().mean() * n / len(candidates)
+        if gain > open_cost:
+            gpu.launch(_reassign_kernel, grid, _BLOCK, pts, cc, cost, assign,
+                       int(c), n, dims, regs_per_thread=20, name="sc_reassign")
+    return assign.to_host(), float(cost.to_host().sum())
+
+
+def cpu_run(machine: Machine, scale: SimScale = SimScale.SMALL):
+    p = cpu_sizes(scale)
+    n, dims = p["n"], p["dims"]
+    points, candidates = _inputs(p)
+    pts = machine.array(points.reshape(-1), name="points")
+    pts64 = points.astype(np.float64)
+    cost0 = ((pts64 - pts64[0]) ** 2).sum(axis=1)
+    cost = machine.array(cost0, name="cost")
+    assign = machine.alloc(n, dtype=np.int64, name="assign")
+    partial = machine.alloc(machine.n_threads, name="gain_partial")
+    didx = np.arange(dims)
+
+    def pgain(t, c):
+        cand = t.load(pts, c * dims + didx).astype(np.float64)
+        total = 0.0
+        for i in t.chunk(n):
+            x = t.load(pts, i * dims + didx).astype(np.float64)
+            t.alu(3 * dims + 2)
+            d = ((x - cand) ** 2).sum()
+            old = t.load(cost, i)
+            total += max(old - d, 0.0)
+            t.branch(1)
+        t.store(partial, t.tid, total)
+
+    def reassign(t, c):
+        cand = t.load(pts, c * dims + didx).astype(np.float64)
+        for i in t.chunk(n):
+            x = t.load(pts, i * dims + didx).astype(np.float64)
+            t.alu(3 * dims + 1)
+            d = ((x - cand) ** 2).sum()
+            old = t.load(cost, i)
+            t.branch(1)
+            if d < old:
+                t.store(cost, i, d)
+                t.store(assign, i, c)
+
+    for c in candidates[1:]:
+        machine.parallel(pgain, int(c))
+        gain = partial.data.sum()
+        open_cost = 0.1 * cost.data.mean() * n / len(candidates)
+        if gain > open_cost:
+            machine.parallel(reassign, int(c))
+    return assign.to_host(), float(cost.data.sum())
+
+
+def _check(result, p) -> None:
+    assign, total = result
+    ref_assign, ref_total = reference(p)
+    np.testing.assert_array_equal(assign, ref_assign)
+    np.testing.assert_allclose(total, ref_total, rtol=1e-5)
+
+
+def check_gpu(result, scale: SimScale) -> None:
+    _check(result, gpu_sizes(scale))
+
+
+def check_cpu(result, scale: SimScale) -> None:
+    _check(result, cpu_sizes(scale))
+
+
+register(
+    WorkloadDef(
+        META, cpu_fn=cpu_run, gpu_fn=gpu_run,
+        check_cpu=check_cpu, check_gpu=check_gpu,
+    )
+)

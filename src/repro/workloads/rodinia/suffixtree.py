@@ -1,0 +1,208 @@
+"""Ukkonen's online suffix tree construction ([33] in the paper).
+
+MUMmerGPU builds the reference suffix tree on the CPU with Ukkonen's
+algorithm and ships a flattened encoding to the GPU.  This module
+implements the construction in O(n) (amortized) and the flattening into
+the array form both the GPU kernel and the instrumented CPU matcher
+walk: per node, five child slots (four bases + terminator), the edge
+label's start offset in the reference, and the edge length.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Alphabet: 4 bases plus the unique terminator symbol.
+SIGMA = 5
+TERMINATOR = 4
+
+
+class _Node:
+    __slots__ = ("children", "start", "end", "slink")
+
+    def __init__(self, start: int, end: Optional[int]):
+        self.children: Dict[int, "_Node"] = {}
+        self.start = start
+        self.end = end          # None = open (grows with the text)
+        self.slink: Optional["_Node"] = None
+
+
+@dataclasses.dataclass
+class FlatSuffixTree:
+    """Array encoding of the tree (the GPU-friendly form).
+
+    ``children[node * SIGMA + c]`` is the child entered on symbol ``c``
+    (0 = none; the root is node 0 and never a child).  ``edge_start`` /
+    ``edge_len`` describe the edge label leading *into* each node, as a
+    slice of ``text``.
+    """
+
+    children: np.ndarray    # (n_nodes * SIGMA,) int32
+    edge_start: np.ndarray  # (n_nodes,) int32
+    edge_len: np.ndarray    # (n_nodes,) int32
+    text: np.ndarray        # reference + terminator, int8
+
+    @property
+    def n_nodes(self) -> int:
+        return self.edge_start.size
+
+
+class SuffixTree:
+    """Suffix tree of ``sequence`` (int codes in [0, 4)) via Ukkonen."""
+
+    def __init__(self, sequence: np.ndarray):
+        self.text = np.concatenate(
+            [np.asarray(sequence, dtype=np.int8), [TERMINATOR]]
+        )
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _edge_len(self, node: _Node, pos: int) -> int:
+        end = node.end if node.end is not None else pos + 1
+        return end - node.start
+
+    def _build(self) -> None:
+        text = self.text
+        n = text.size
+        self.root = _Node(-1, -1)
+        active_node = self.root
+        active_edge = 0     # index into text of the active edge's symbol
+        active_len = 0
+        remainder = 0
+        for pos in range(n):
+            c = int(text[pos])
+            remainder += 1
+            last_internal: Optional[_Node] = None
+            while remainder > 0:
+                if active_len == 0:
+                    active_edge = pos
+                edge_c = int(text[active_edge])
+                nxt = active_node.children.get(edge_c)
+                if nxt is None:
+                    # Rule 2: new leaf from active_node.
+                    active_node.children[edge_c] = _Node(pos, None)
+                    if last_internal is not None:
+                        last_internal.slink = active_node
+                        last_internal = None
+                    if active_node is not self.root:
+                        last_internal = None
+                else:
+                    elen = self._edge_len(nxt, pos)
+                    if active_len >= elen:
+                        # Walk down.
+                        active_edge += elen
+                        active_len -= elen
+                        active_node = nxt
+                        continue
+                    if int(text[nxt.start + active_len]) == c:
+                        # Rule 3: already present; just extend active point.
+                        active_len += 1
+                        if last_internal is not None:
+                            last_internal.slink = active_node
+                            last_internal = None
+                        break
+                    # Rule 2 with split.
+                    split = _Node(nxt.start, nxt.start + active_len)
+                    active_node.children[edge_c] = split
+                    split.children[c] = _Node(pos, None)
+                    nxt.start += active_len
+                    split.children[int(text[nxt.start])] = nxt
+                    if last_internal is not None:
+                        last_internal.slink = split
+                    last_internal = split
+                remainder -= 1
+                if active_node is self.root and active_len > 0:
+                    active_len -= 1
+                    active_edge = pos - remainder + 1
+                else:
+                    active_node = (
+                        active_node.slink
+                        if active_node.slink is not None
+                        else self.root
+                    )
+        self._close(self.root, n)
+
+    def _close(self, node: _Node, n: int) -> None:
+        for child in node.children.values():
+            if child.end is None:
+                child.end = n
+            self._close(child, n)
+
+    # ------------------------------------------------------------------
+    def contains(self, pattern: np.ndarray) -> bool:
+        """Whether ``pattern`` occurs in the sequence (tree walk)."""
+        return self.match_length(pattern) == len(pattern)
+
+    def match_length(self, pattern: np.ndarray) -> int:
+        """Length of the longest prefix of ``pattern`` present."""
+        text = self.text
+        node = self.root
+        matched = 0
+        i = 0
+        m = len(pattern)
+        while i < m:
+            child = node.children.get(int(pattern[i]))
+            if child is None:
+                return matched
+            k = child.start
+            while k < child.end and i < m:
+                if int(text[k]) != int(pattern[i]):
+                    return matched
+                k += 1
+                i += 1
+                matched += 1
+            node = child
+        return matched
+
+    # ------------------------------------------------------------------
+    def flatten(self) -> FlatSuffixTree:
+        """Breadth-first array encoding (node 0 = root)."""
+        order: List[_Node] = [self.root]
+        index: Dict[int, int] = {id(self.root): 0}
+        head = 0
+        while head < len(order):
+            node = order[head]
+            head += 1
+            for c in sorted(node.children):
+                child = node.children[c]
+                index[id(child)] = len(order)
+                order.append(child)
+        n_nodes = len(order)
+        children = np.zeros(n_nodes * SIGMA, dtype=np.int32)
+        edge_start = np.zeros(n_nodes, dtype=np.int32)
+        edge_len = np.zeros(n_nodes, dtype=np.int32)
+        for node in order:
+            ni = index[id(node)]
+            if node is not self.root:
+                edge_start[ni] = node.start
+                edge_len[ni] = node.end - node.start
+            for c, child in node.children.items():
+                children[ni * SIGMA + c] = index[id(child)]
+        return FlatSuffixTree(children, edge_start, edge_len, self.text)
+
+
+def flat_match_length(tree: FlatSuffixTree, pattern: np.ndarray) -> int:
+    """Walk the flattened tree (pure-python mirror of the GPU kernel)."""
+    node = 0
+    matched = 0
+    i = 0
+    m = len(pattern)
+    text = tree.text
+    while i < m:
+        child = int(tree.children[node * SIGMA + int(pattern[i])])
+        if child == 0:
+            return matched
+        start = int(tree.edge_start[child])
+        elen = int(tree.edge_len[child])
+        k = 0
+        while k < elen and i < m:
+            if int(text[start + k]) != int(pattern[i]):
+                return matched
+            k += 1
+            i += 1
+            matched += 1
+        node = child
+    return matched

@@ -1,0 +1,66 @@
+"""Tests for repro.common: RNG discipline, tables, scaling."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import SimScale, scaled
+from repro.common.rng import make_rng
+from repro.common.tables import Table
+
+
+class TestMakeRng:
+    def test_deterministic(self):
+        a = make_rng("x", 1).integers(0, 1000, 10)
+        b = make_rng("x", 1).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_independent_streams(self):
+        a = make_rng("x", 1).integers(0, 1000, 10)
+        b = make_rng("x", 2).integers(0, 1000, 10)
+        assert not np.array_equal(a, b)
+
+    def test_tag_types(self):
+        # Tags of any type are accepted and stable.
+        a = make_rng("w", 3, 4.5, True).random()
+        b = make_rng("w", 3, 4.5, True).random()
+        assert a == b
+
+
+class TestSimScale:
+    def test_factors_monotone(self):
+        assert SimScale.TINY.factor < SimScale.SMALL.factor < SimScale.MEDIUM.factor
+
+    def test_scaled_minimum(self):
+        assert scaled(0, SimScale.TINY, minimum=3) == 3
+
+    def test_scaled_grows(self):
+        assert scaled(16, SimScale.MEDIUM) == 64
+
+
+class TestTable:
+    def test_render_contains_cells(self):
+        t = Table("My Title", ["a", "b"])
+        t.add_row(["hello", 1.5])
+        out = t.render()
+        assert "My Title" in out
+        assert "hello" in out
+        assert "1.5" in out
+
+    def test_row_width_checked(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_column_extraction(self):
+        t = Table("T", ["a", "b"])
+        t.add_row([1, 2])
+        t.add_row([3, 4])
+        assert t.column("b") == ["2", "4"]
+
+    def test_float_formatting(self):
+        t = Table("T", ["x"])
+        t.add_row([1234567.0])
+        t.add_row([0.000001])
+        t.add_row([0])
+        out = t.render()
+        assert "e+06" in out and "e-06" in out

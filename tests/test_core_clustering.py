@@ -1,0 +1,130 @@
+"""Tests for hierarchical clustering (validated against scipy)."""
+
+import numpy as np
+import pytest
+import scipy.cluster.hierarchy as sch
+import scipy.spatial.distance as ssd
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Dendrogram, fcluster, linkage
+from repro.core.clustering import cophenetic_distances, pdist
+
+METHODS = ["single", "complete", "average", "ward"]
+
+
+def _blobs(seed, n=12, d=4):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0.0, 1.0, (n, d))
+    x[: n // 3] += 6
+    x[n // 3 : 2 * n // 3] -= 6
+    return x
+
+
+def _canon(labels):
+    seen = {}
+    return tuple(seen.setdefault(v, len(seen)) for v in labels)
+
+
+class TestPdist:
+    def test_matches_scipy(self):
+        x = _blobs(0)
+        np.testing.assert_allclose(pdist(x), ssd.squareform(ssd.pdist(x)),
+                                   atol=1e-10)
+
+
+class TestLinkage:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_heights_match_scipy(self, method):
+        x = _blobs(1)
+        z_ours = linkage(x, method)
+        z_scipy = sch.linkage(ssd.pdist(x), method=method)
+        np.testing.assert_allclose(
+            np.sort(z_ours[:, 2]), np.sort(z_scipy[:, 2]), atol=1e-8
+        )
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_flat_clusters_match_scipy(self, method):
+        x = _blobs(2)
+        ours = fcluster(linkage(x, method), 3)
+        theirs = sch.fcluster(sch.linkage(ssd.pdist(x), method=method), 3,
+                              criterion="maxclust")
+        assert _canon(ours) == _canon(theirs)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_average_matches_scipy_random(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0.0, 1.0, (10, 3))
+        z_ours = linkage(x, "average")
+        z_scipy = sch.linkage(ssd.pdist(x), method="average")
+        np.testing.assert_allclose(
+            np.sort(z_ours[:, 2]), np.sort(z_scipy[:, 2]), atol=1e-8
+        )
+
+    def test_merge_sizes_accumulate(self):
+        z = linkage(_blobs(3), "average")
+        assert z[-1, 3] == 12
+
+    def test_heights_monotone_for_average(self):
+        z = linkage(_blobs(4), "average")
+        assert (np.diff(z[:, 2]) >= -1e-9).all()
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            linkage(_blobs(0), "centroid")
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            linkage(np.zeros((1, 3)))
+
+
+class TestFcluster:
+    def test_n_clusters_respected(self):
+        z = linkage(_blobs(5), "average")
+        for k in (1, 2, 3, 6, 12):
+            labels = fcluster(z, k)
+            assert len(set(labels.tolist())) == k
+
+    def test_blob_structure_recovered(self):
+        x = _blobs(6)
+        labels = fcluster(linkage(x, "average"), 3)
+        # Points within a blob share a label.
+        assert len(set(labels[:4].tolist())) == 1
+        assert len(set(labels[4:8].tolist())) == 1
+        assert len(set(labels[8:].tolist())) == 1
+
+    def test_out_of_range(self):
+        z = linkage(_blobs(7), "average")
+        with pytest.raises(ValueError):
+            fcluster(z, 0)
+        with pytest.raises(ValueError):
+            fcluster(z, 13)
+
+
+class TestCophenetic:
+    def test_matches_scipy(self):
+        x = _blobs(8)
+        z = linkage(x, "average")
+        ours = cophenetic_distances(z)
+        theirs = ssd.squareform(sch.cophenet(sch.linkage(ssd.pdist(x), "average")))
+        np.testing.assert_allclose(np.sort(ours.ravel()),
+                                   np.sort(theirs.ravel()), atol=1e-8)
+
+
+class TestDendrogram:
+    def test_render_contains_all_labels(self):
+        x = _blobs(9)
+        labels = [f"wl{i}" for i in range(12)]
+        out = Dendrogram(linkage(x, "average"), labels).render()
+        for lbl in labels:
+            assert lbl in out
+
+    def test_leaf_order_is_permutation(self):
+        d = Dendrogram(linkage(_blobs(10), "average"),
+                       [str(i) for i in range(12)])
+        assert sorted(d.leaf_order()) == list(range(12))
+
+    def test_label_count_checked(self):
+        with pytest.raises(ValueError):
+            Dendrogram(linkage(_blobs(11), "average"), ["a", "b"])

@@ -1,0 +1,96 @@
+"""Tests for application-space coverage and redundancy metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coverage import (
+    bounding_volume,
+    coverage_report,
+    greedy_representative_subset,
+    marginal_coverage,
+    nearest_neighbor_distances,
+)
+
+
+class TestBoundingVolume:
+    def test_unit_square(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert bounding_volume(pts) == pytest.approx(1.0)
+
+    def test_interior_points_do_not_grow(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5]])
+        assert bounding_volume(pts) == pytest.approx(1.0)
+
+    def test_single_point(self):
+        assert bounding_volume(np.array([[1.0, 2.0]])) == 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_monotone_under_addition(self, seed):
+        rng = np.random.default_rng(seed)
+        base = rng.normal(0, 1, (6, 3))
+        extra = rng.normal(0, 2, (3, 3))
+        assert (bounding_volume(np.vstack([base, extra]))
+                >= bounding_volume(base) - 1e-12)
+
+
+class TestNearestNeighbor:
+    def test_distances(self):
+        pts = np.array([[0.0], [1.0], [5.0]])
+        nn = nearest_neighbor_distances(pts)
+        np.testing.assert_allclose(nn, [1.0, 1.0, 4.0])
+
+
+class TestCoverageReport:
+    def test_redundant_pair_flagged(self):
+        pts = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0]])
+        rep = coverage_report(pts, ["a", "b", "c"], redundancy_threshold=0.5)
+        assert rep.redundant_pairs == [("a", "b", pytest.approx(0.1))]
+
+    def test_no_redundancy_when_spread(self):
+        pts = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 3.0]])
+        rep = coverage_report(pts, list("abc"))
+        assert rep.redundant_pairs == []
+        assert rep.min_nn_distance == pytest.approx(3.0)
+
+
+class TestMarginalCoverage:
+    def test_interior_addition_adds_nothing(self):
+        base = np.array([[0.0, 0.0], [2.0, 2.0]])
+        added = np.array([[1.0, 1.0]])
+        assert marginal_coverage(base, added) == pytest.approx(0.0)
+
+    def test_exterior_addition_grows(self):
+        base = np.array([[0.0, 0.0], [1.0, 1.0]])
+        added = np.array([[2.0, 2.0]])
+        assert marginal_coverage(base, added) == pytest.approx(3.0)
+
+
+class TestGreedySubset:
+    def test_extremes_always_kept(self):
+        pts = np.array([[0.0, 0.0], [10.0, 10.0], [5.0, 5.0], [5.1, 5.0]])
+        subset = greedy_representative_subset(pts, list("abcd"), 0.9)
+        assert "a" in subset and "b" in subset
+
+    def test_subset_meets_target(self):
+        rng = np.random.default_rng(4)
+        pts = rng.normal(0, 1, (20, 4))
+        names = [f"w{i}" for i in range(20)]
+        subset = greedy_representative_subset(pts, names, 0.9)
+        idx = [names.index(n) for n in subset]
+        assert (bounding_volume(pts[idx])
+                >= 0.9 * bounding_volume(pts) - 1e-9)
+
+    def test_subset_smaller_than_suite_for_clustered_data(self):
+        rng = np.random.default_rng(5)
+        pts = np.vstack([rng.normal(0, 0.01, (10, 3)),
+                         rng.normal(5, 0.01, (10, 3))])
+        subset = greedy_representative_subset(
+            pts, [f"w{i}" for i in range(20)], 0.9)
+        assert len(subset) < 20
+
+    def test_tiny_input(self):
+        pts = np.array([[0.0], [1.0]])
+        assert greedy_representative_subset(pts, ["a", "b"]) == ["a", "b"]

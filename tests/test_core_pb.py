@@ -1,0 +1,70 @@
+"""Tests for Plackett-Burman designs and effect analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import pb_design, pb_effects
+from repro.core.plackett_burman import rank_factors
+
+
+class TestDesigns:
+    @pytest.mark.parametrize("k", [2, 5, 9, 11, 15, 19, 23])
+    def test_levels_are_pm_one(self, k):
+        d = pb_design(k)
+        assert set(np.unique(d).tolist()) <= {-1, 1}
+
+    @pytest.mark.parametrize("k", [2, 5, 9, 11, 19, 23])
+    def test_columns_orthogonal(self, k):
+        d = pb_design(k)
+        gram = d.T @ d
+        off = gram - np.diag(np.diag(gram))
+        # Cyclic PB designs with the all-minus row are exactly orthogonal.
+        assert np.abs(off).max() == 0
+
+    def test_smallest_design_chosen(self):
+        assert pb_design(9).shape[0] == 12
+        assert pb_design(12).shape[0] == 20
+        assert pb_design(20).shape[0] == 24
+
+    def test_too_many_factors(self):
+        with pytest.raises(ValueError):
+            pb_design(24)
+
+    def test_foldover_doubles_runs(self):
+        d = pb_design(9, foldover=True)
+        assert d.shape[0] == 24
+        np.testing.assert_array_equal(d[:12], -d[12:])
+
+    def test_needs_a_factor(self):
+        with pytest.raises(ValueError):
+            pb_design(0)
+
+
+class TestEffects:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(2, 11),
+        st.integers(0, 10_000),
+    )
+    def test_linear_model_recovered(self, k, seed):
+        rng = np.random.default_rng(seed)
+        d = pb_design(k)
+        true = rng.normal(0.0, 2.0, k)
+        y = d @ true + 5.0
+        effects = pb_effects(d, y)
+        np.testing.assert_allclose(effects, 2.0 * true, atol=1e-9)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pb_effects(pb_design(3), np.zeros(5))
+
+    def test_rank_factors_order(self):
+        d = pb_design(4)
+        y = 10.0 * d[:, 2] - 3.0 * d[:, 0]
+        ranked = rank_factors(d, y, ["a", "b", "c", "d"])
+        assert ranked[0][0] == "c"
+        assert ranked[1][0] == "a"
+        shares = [s for _, _, s in ranked]
+        assert sum(shares) == pytest.approx(1.0)

@@ -1,0 +1,88 @@
+"""Tests for the PCA implementation (validated against numpy SVD)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import PCA
+
+
+def _random_matrix(seed, n=20, d=6):
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, 1.0, (n, d)) @ rng.normal(0.0, 1.0, (d, d))
+
+
+class TestPCACorrectness:
+    def test_variances_match_svd(self):
+        x = _random_matrix(0)
+        p = PCA().fit(x)
+        z = (x - x.mean(0)) / x.std(0, ddof=1)
+        s = np.linalg.svd(z, compute_uv=False)
+        expected = np.sort(s ** 2 / (len(x) - 1))[::-1]
+        np.testing.assert_allclose(p.explained_variance_, expected, atol=1e-10)
+
+    def test_components_orthonormal(self):
+        p = PCA().fit(_random_matrix(1))
+        gram = p.components_ @ p.components_.T
+        np.testing.assert_allclose(gram, np.eye(gram.shape[0]), atol=1e-10)
+
+    def test_transform_decorrelates(self):
+        x = _random_matrix(2, n=100)
+        scores = PCA().fit_transform(x)
+        cov = np.cov(scores.T)
+        off = cov - np.diag(np.diag(cov))
+        assert np.abs(off).max() < 1e-8
+
+    def test_variance_ratio_sums_to_one(self):
+        p = PCA().fit(_random_matrix(3))
+        assert p.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+    def test_deterministic_sign(self):
+        x = _random_matrix(4)
+        a = PCA().fit(x).components_
+        b = PCA().fit(x.copy()).components_
+        np.testing.assert_array_equal(a, b)
+
+    def test_constant_feature_handled(self):
+        x = _random_matrix(5)
+        x[:, 2] = 3.14
+        scores = PCA().fit_transform(x)
+        assert np.isfinite(scores).all()
+
+    def test_n_components_truncates(self):
+        p = PCA(n_components=2).fit(_random_matrix(6))
+        assert p.components_.shape[0] == 2
+        assert p.transform(_random_matrix(6)).shape[1] == 2
+
+    def test_n_components_for_variance(self):
+        x = _random_matrix(7, n=50)
+        p = PCA().fit(x)
+        k = p.n_components_for_variance(0.9)
+        assert p.explained_variance_ratio_[:k].sum() >= 0.9
+        if k > 1:
+            assert p.explained_variance_ratio_[: k - 1].sum() < 0.9
+
+
+class TestPCAValidation:
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            PCA().fit(np.zeros(5))
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            PCA().fit(np.zeros((1, 4)))
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            PCA().transform(np.zeros((3, 3)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_reconstruction_with_all_components(self, seed):
+        x = _random_matrix(seed, n=12, d=4)
+        p = PCA().fit(x)
+        z = (x - p.mean_) / p.scale_
+        recon = p.transform(x) @ p.components_
+        np.testing.assert_allclose(recon, z, atol=1e-8)

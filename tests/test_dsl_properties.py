@@ -1,0 +1,192 @@
+"""Property-based tests of the SIMT DSL's execution semantics.
+
+These pin the DSL's contract against plain numpy: masked stores write
+exactly the active lanes, accounting equals the sum of active lanes,
+and structured control flow matches a per-lane Python interpretation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.gpusim import GPU
+from repro.gpusim.isa import Category
+
+
+def masks(n=64):
+    return arrays(np.bool_, n, elements=st.booleans())
+
+
+class TestMaskedSemantics:
+    @settings(max_examples=30, deadline=None)
+    @given(masks())
+    def test_masked_store_touches_only_active_lanes(self, mask):
+        gpu = GPU()
+        out = gpu.to_device(np.full(64, -1.0, dtype=np.float64))
+
+        def k(ctx, out):
+            with ctx.masked(mask):
+                ctx.store(out, ctx.tidx, ctx.tidx.astype(np.float64))
+
+        gpu.launch(k, 1, 64, out)
+        got = out.to_host()
+        expect = np.where(mask, np.arange(64.0), -1.0)
+        np.testing.assert_array_equal(got, expect)
+
+    @settings(max_examples=30, deadline=None)
+    @given(masks())
+    def test_thread_inst_accounting_equals_active_lanes(self, mask):
+        gpu = GPU()
+
+        def k(ctx):
+            with ctx.masked(mask):
+                ctx.alu(1)
+
+        gpu.launch(k, 1, 64)
+        lt = gpu.trace.launches[0]
+        alu_threads = int(mask.sum())
+        # One branch charged at full mask by masked(), plus the ALU at
+        # the reduced mask.
+        assert lt.thread_insts == 64 + alu_threads
+
+    @settings(max_examples=30, deadline=None)
+    @given(masks(), masks())
+    def test_nested_masks_are_intersection(self, m1, m2):
+        gpu = GPU()
+        out = gpu.to_device(np.zeros(64, dtype=np.int64))
+
+        def k(ctx, out):
+            with ctx.masked(m1):
+                with ctx.masked(m2):
+                    ctx.store(out, ctx.tidx, 1)
+
+        gpu.launch(k, 1, 64, out)
+        np.testing.assert_array_equal(out.to_host(), (m1 & m2).astype(np.int64))
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays(np.int64, 32, elements=st.integers(0, 9)))
+    def test_while_matches_per_lane_python(self, trips):
+        gpu = GPU()
+        out = gpu.to_device(np.zeros(32, dtype=np.int64))
+
+        def k(ctx, out):
+            count = ctx.const(0, dtype=np.int64)
+
+            def cond():
+                return count < trips
+
+            for _ in ctx.while_(cond):
+                count = np.where(ctx.mask, count + 1, count)
+            ctx.store(out, ctx.tidx, count)
+
+        gpu.launch(k, 1, 32, out)
+        np.testing.assert_array_equal(out.to_host(), trips)
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays(np.int64, 64, elements=st.integers(0, 63)), masks())
+    def test_gather_matches_numpy(self, idx, mask):
+        gpu = GPU()
+        data = np.arange(100.0, 164.0)
+        src = gpu.to_device(data)
+        out = gpu.to_device(np.zeros(64))
+
+        def k(ctx, src, out):
+            with ctx.masked(mask):
+                ctx.store(out, ctx.tidx, ctx.load(src, idx))
+
+        gpu.launch(k, 1, 64, src, out)
+        expect = np.where(mask, data[idx], 0.0)
+        np.testing.assert_array_equal(out.to_host(), expect)
+
+
+class TestOccupancyAccounting:
+    @settings(max_examples=30, deadline=None)
+    @given(masks())
+    def test_histogram_total_matches_live_warps(self, mask):
+        gpu = GPU()
+
+        def k(ctx):
+            with ctx.masked(mask):
+                ctx.alu(1)
+
+        gpu.launch(k, 1, 64)
+        lt = gpu.trace.launches[0]
+        alu_warps = sum(
+            1 for w in range(2) if mask[w * 32:(w + 1) * 32].any()
+        )
+        # masked() charges a branch at the full mask (2 warps).
+        assert lt.category_warp_insts[Category.ALU] == alu_warps
+        assert lt.occupancy_hist.sum() == lt.issued_warp_insts
+
+    @settings(max_examples=20, deadline=None)
+    @given(masks())
+    def test_histogram_buckets_match_popcounts(self, mask):
+        gpu = GPU()
+
+        def k(ctx):
+            with ctx.masked(mask):
+                ctx.alu(1)
+
+        gpu.launch(k, 1, 64)
+        hist = gpu.trace.launches[0].occupancy_hist
+        for w in range(2):
+            pop = int(mask[w * 32:(w + 1) * 32].sum())
+            if pop:
+                assert hist[pop - 1] >= 1
+
+
+class TestEdgeBehaviour:
+    def test_zero_trip_while(self):
+        gpu = GPU()
+        ran = {"n": 0}
+
+        def k(ctx):
+            def cond():
+                return ctx.const(False, dtype=bool)
+
+            for _ in ctx.while_(cond):
+                ran["n"] += 1
+
+        gpu.launch(k, 1, 32)
+        assert ran["n"] == 0
+
+    def test_all_false_mask_skips_charges(self):
+        gpu = GPU()
+
+        def k(ctx):
+            with ctx.masked(np.zeros(32, dtype=bool)):
+                ctx.alu(5)
+                ctx.store(gpu.alloc(1), ctx.const(0, np.int64), 1.0)
+
+        gpu.launch(k, 1, 32)
+        lt = gpu.trace.launches[0]
+        assert lt.category_warp_insts[Category.ALU] == 0
+        assert lt.category_warp_insts[Category.MEM] == 0
+
+    def test_single_lane_block(self):
+        gpu = GPU()
+        out = gpu.alloc(1, dtype=np.int64)
+
+        def k(ctx, out):
+            ctx.store(out, ctx.tidx, 42)
+
+        gpu.launch(k, 1, 1, out)
+        assert out.to_host()[0] == 42
+        assert gpu.trace.occupancy_hist[0] >= 1
+
+    def test_nan_inputs_do_not_crash(self):
+        gpu = GPU()
+        src = gpu.to_device(np.array([np.nan, 1.0] * 16))
+        out = gpu.alloc(32, dtype=np.float64)
+
+        def k(ctx, src, out):
+            v = ctx.load(src, ctx.tidx)
+            ctx.alu(2)
+            with ctx.masked(~np.isnan(v)):
+                ctx.store(out, ctx.tidx, v * 2)
+
+        gpu.launch(k, 1, 32, src, out)
+        got = out.to_host()
+        assert got[1] == 2.0 and got[0] == 0.0

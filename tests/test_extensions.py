@@ -1,0 +1,96 @@
+"""Integration tests for the Section VII extension experiments."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import SimScale
+from repro.experiments import get_driver
+
+SCALE = SimScale.TINY
+
+
+@pytest.fixture(scope="module")
+def ext():
+    return {
+        name: get_driver(name)(SCALE)
+        for name in ("ext_divergence", "ext_concurrent", "ext_coverage",
+                     "ext_crossarch", "ext_coherence")
+    }
+
+
+class TestDivergence:
+    def test_all_workloads_covered(self, ext):
+        d = ext["ext_divergence"].data
+        assert sum(1 for k in d if isinstance(d[k], dict)) == 12
+
+    def test_efficiencies_in_range(self, ext):
+        for name, stats in ext["ext_divergence"].data.items():
+            assert 0.0 < stats["simd_efficiency"] <= 1.0, name
+            assert stats["divergence_speedup_bound"] >= 0.99, name
+
+    def test_divergent_workloads_least_efficient(self, ext):
+        d = ext["ext_divergence"].data
+        divergent = min(d["cfd"]["simd_efficiency"],
+                        d["kmeans"]["simd_efficiency"])
+        assert d["bfs"]["simd_efficiency"] < divergent
+        assert d["nw"]["simd_efficiency"] < divergent
+
+    def test_width_sweep_monotone_for_compute(self, ext):
+        ipc = ext["ext_divergence"].data["hotspot"]["ipc_by_width"]
+        assert ipc[32] >= ipc[16] >= ipc[8]
+
+
+class TestConcurrent:
+    def test_speedups_bounded(self, ext):
+        for pair, s in ext["ext_concurrent"].data.items():
+            assert 0.99 <= s <= 2.01, pair
+
+    def test_some_pair_benefits(self, ext):
+        assert max(ext["ext_concurrent"].data.values()) > 1.05
+
+
+class TestCoverage:
+    def test_joint_volume_largest(self, ext):
+        d = ext["ext_coverage"].data
+        assert d["joint"]["volume"] >= d["rodinia"]["volume"]
+        assert d["joint"]["volume"] >= d["parsec"]["volume"]
+
+    def test_suites_complement(self, ext):
+        """The paper's conclusion: the suites complement each other."""
+        d = ext["ext_coverage"].data
+        assert d["gain_rodinia_over_parsec"] > 0.0
+        assert d["gain_parsec_over_rodinia"] > 0.0
+
+    def test_representative_subset_is_proper(self, ext):
+        d = ext["ext_coverage"].data
+        assert 2 <= len(d["representative_subset"]) <= 24
+
+
+class TestCrossArch:
+    def test_correlations_in_range(self, ext):
+        for key, rho in ext["ext_crossarch"].data.items():
+            if key == "rows":
+                continue
+            assert -1.0 <= rho <= 1.0, key
+
+    def test_branchiness_vs_simd_efficiency_negative(self, ext):
+        """Branchy CPU code should diverge on the GPU (negative rho)."""
+        d = ext["ext_crossarch"].data
+        assert d["cpu_branch_fraction~gpu_simd_eff"] < 0.1
+
+    def test_per_workload_rows_complete(self, ext):
+        assert len(ext["ext_crossarch"].data["rows"]) == 12
+
+
+class TestCoherence:
+    def test_all_workloads_covered(self, ext):
+        d = ext["ext_coherence"].data
+        names = [k for k in d if k != "most_coherence_bound"]
+        assert len(names) == 24
+
+    def test_canneal_among_most_coherence_bound(self, ext):
+        assert "canneal" in ext["ext_coherence"].data["most_coherence_bound"]
+
+    def test_no_sharing_no_invalidations(self, ext):
+        d = ext["ext_coherence"].data
+        assert d["blackscholes"]["invals_per_kiloref"] == 0.0

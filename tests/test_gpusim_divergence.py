@@ -1,0 +1,114 @@
+"""Tests for divergence analysis and concurrent-kernel timing."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import SimScale
+from repro.gpusim import GPU, GPUConfig, TimingModel
+from repro.gpusim.divergence import analyze_divergence, simd_width_sensitivity
+from repro.gpusim.isa import Category
+from repro.gpusim.trace import KernelTrace
+
+
+def _trace_with_occupancy(active_per_warp, n_warp_insts=1000):
+    tr = KernelTrace("synthetic")
+    lt = tr.new_launch("k", (64, 1), (256, 1), 16)
+    lt.charge_warps(
+        Category.ALU,
+        np.array(active_per_warp, dtype=np.int64),
+        repeat=n_warp_insts,
+    )
+    return tr
+
+
+class TestDivergenceStats:
+    def test_full_warps_are_perfectly_efficient(self):
+        stats = analyze_divergence(_trace_with_occupancy([32] * 8))
+        assert stats.simd_efficiency == pytest.approx(1.0)
+        assert stats.frac_warps_underfilled == 0.0
+        assert stats.divergence_speedup_bound == pytest.approx(1.0, abs=0.02)
+
+    def test_half_filled_warps(self):
+        stats = analyze_divergence(_trace_with_occupancy([16] * 8))
+        assert stats.simd_efficiency == pytest.approx(0.5)
+        assert stats.frac_warps_underfilled == 1.0
+
+    def test_packing_bound_for_compute_kernel(self):
+        # A compute-bound kernel at 25% efficiency could run ~4x faster
+        # with perfect reconvergence.
+        stats = analyze_divergence(_trace_with_occupancy([8] * 8, 50_000))
+        assert 2.0 < stats.divergence_speedup_bound <= 4.5
+
+    def test_memory_bound_kernel_gains_nothing(self):
+        tr = _trace_with_occupancy([8] * 8, 100)
+        lt = tr.launches[0]
+        addrs = np.arange(200_000, dtype=np.int64) * 64
+        lt.record_transactions(addrs, 0, False)
+        stats = analyze_divergence(tr)
+        # Packing warps cannot reduce DRAM traffic.
+        assert stats.divergence_speedup_bound == pytest.approx(1.0, abs=0.02)
+
+    def test_empty_trace(self):
+        stats = analyze_divergence(KernelTrace("empty"))
+        assert stats.simd_efficiency == 1.0
+
+    def test_real_workload_direction(self):
+        """BFS (divergent) must show lower SIMD efficiency than CFD."""
+        from repro.workloads import get
+        g1, g2 = GPU(), GPU()
+        get("bfs").gpu_fn(g1, SimScale.TINY)
+        get("cfd").gpu_fn(g2, SimScale.TINY)
+        s_bfs = analyze_divergence(g1.trace)
+        s_cfd = analyze_divergence(g2.trace)
+        assert s_bfs.simd_efficiency < s_cfd.simd_efficiency
+
+
+class TestSimdWidthSensitivity:
+    def test_compute_kernel_scales_with_width(self):
+        tr = _trace_with_occupancy([32] * 8, 10_000)
+        res = simd_width_sensitivity(tr)
+        assert res[32].ipc > res[16].ipc > res[8].ipc
+
+    def test_returns_requested_widths(self):
+        res = simd_width_sensitivity(_trace_with_occupancy([32] * 8),
+                                     widths=(8, 64))
+        assert set(res) == {8, 64}
+
+
+class TestConcurrentTiming:
+    def _compute(self):
+        # Sized so the issue demand roughly matches _memory's channel
+        # demand — the best case for co-scheduling.
+        return _trace_with_occupancy([32] * 8, 145_000)
+
+    def _memory(self):
+        tr = _trace_with_occupancy([32] * 8, 10)
+        tr.launches[0].record_transactions(
+            np.arange(100_000, dtype=np.int64) * 64, 0, False)
+        return tr
+
+    def test_complementary_pair_overlaps(self):
+        model = TimingModel(GPUConfig.sim_default())
+        co = model.time_concurrent([self._compute(), self._memory()])
+        assert co.speedup > 1.7
+
+    def test_same_resource_pair_does_not(self):
+        model = TimingModel(GPUConfig.sim_default())
+        co = model.time_concurrent([self._memory(), self._memory()])
+        assert co.speedup < 1.2
+
+    def test_speedup_bounded_by_two(self):
+        model = TimingModel(GPUConfig.sim_default())
+        co = model.time_concurrent([self._compute(), self._memory()])
+        assert co.speedup <= 2.01
+
+    def test_never_slower_than_slowest_member(self):
+        model = TimingModel(GPUConfig.sim_default())
+        singles = [model.time(t).cycles
+                   for t in (self._compute(), self._memory())]
+        co = model.time_concurrent([self._compute(), self._memory()])
+        assert co.concurrent_cycles >= max(singles) * 0.99
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TimingModel(GPUConfig.sim_default()).time_concurrent([])

@@ -1,0 +1,316 @@
+"""Tests for the SIMT DSL: masking, control flow, memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GPU, GPUConfig
+from repro.gpusim.dsl import KernelFault
+from repro.gpusim.isa import Category, Space
+
+
+def fresh_gpu():
+    return GPU(GPUConfig.sim_default())
+
+
+class TestBasicExecution:
+    def test_vector_add(self):
+        gpu = fresh_gpu()
+        n = 300
+        a = gpu.to_device(np.arange(n, dtype=np.float32))
+        out = gpu.alloc(n)
+
+        def k(ctx, a, out):
+            i = ctx.gtid
+            with ctx.masked(i < n):
+                ctx.store(out, i, ctx.load(a, i) + 1)
+
+        gpu.launch(k, 3, 128, a, out)
+        np.testing.assert_allclose(out.to_host(), np.arange(n) + 1)
+
+    def test_tail_lanes_masked(self):
+        gpu = fresh_gpu()
+        n = 100  # grid covers 128 threads
+        out = gpu.alloc(128, dtype=np.int64)
+
+        def k(ctx, out):
+            i = ctx.gtid
+            with ctx.masked(i < n):
+                ctx.store(out, i, 1)
+
+        gpu.launch(k, 1, 128, out)
+        assert out.to_host()[:n].sum() == n
+        assert out.to_host()[n:].sum() == 0
+
+    def test_2d_geometry(self):
+        gpu = fresh_gpu()
+        out = gpu.alloc((8, 8), dtype=np.int64)
+
+        def k(ctx, out):
+            ctx.store(out, ctx.gy * 8 + ctx.gx, ctx.gy * 100 + ctx.gx)
+
+        gpu.launch(k, (2, 2), (4, 4), out)
+        expect = np.arange(8)[:, None] * 100 + np.arange(8)[None, :]
+        np.testing.assert_array_equal(out.to_host(), expect)
+
+    def test_block_size_validation(self):
+        gpu = fresh_gpu()
+        with pytest.raises(ValueError):
+            gpu.launch(lambda ctx: None, 1, 2048)
+
+
+class TestControlFlow:
+    def test_if_else_covers_all_lanes(self):
+        gpu = fresh_gpu()
+        out = gpu.alloc(64, dtype=np.int64)
+
+        def k(ctx, out):
+            cond = ctx.tidx % 2 == 0
+            ctx.if_else(
+                cond,
+                lambda: ctx.store(out, ctx.tidx, 1),
+                lambda: ctx.store(out, ctx.tidx, 2),
+            )
+
+        gpu.launch(k, 1, 64, out)
+        vals = out.to_host()
+        assert (vals[0::2] == 1).all() and (vals[1::2] == 2).all()
+
+    def test_while_per_lane_trip_counts(self):
+        gpu = fresh_gpu()
+        out = gpu.alloc(32, dtype=np.int64)
+
+        def k(ctx, out):
+            count = ctx.const(0, dtype=np.int64)
+            limit = ctx.tidx  # lane i iterates i times
+
+            def cond():
+                return count < limit
+
+            for _ in ctx.while_(cond):
+                ctx.alu(1)
+                # Lane-state updates must be masked explicitly: plain
+                # numpy assignment touches every lane.
+                count = np.where(ctx.mask, count + 1, count)
+            ctx.store(out, ctx.tidx, count)
+
+        gpu.launch(k, 1, 32, out)
+        np.testing.assert_array_equal(out.to_host(), np.arange(32))
+
+    def test_range_counted_loop(self):
+        gpu = fresh_gpu()
+        out = gpu.alloc(16, dtype=np.int64)
+
+        def k(ctx, out):
+            acc = ctx.const(0, dtype=np.int64)
+            for _ in ctx.range_(5):
+                acc = acc + 2
+            ctx.store(out, ctx.tidx, acc)
+
+        gpu.launch(k, 1, 16, out)
+        assert (out.to_host() == 10).all()
+
+    def test_nested_masks_intersect(self):
+        gpu = fresh_gpu()
+        out = gpu.alloc(64, dtype=np.int64)
+
+        def k(ctx, out):
+            with ctx.masked(ctx.tidx < 32):
+                with ctx.masked(ctx.tidx >= 16):
+                    ctx.store(out, ctx.tidx, 1)
+
+        gpu.launch(k, 1, 64, out)
+        vals = out.to_host()
+        assert vals[16:32].sum() == 16
+        assert vals[:16].sum() == 0 and vals[32:].sum() == 0
+
+    def test_select_charges_and_picks(self):
+        gpu = fresh_gpu()
+        out = gpu.alloc(32, dtype=np.int64)
+
+        def k(ctx, out):
+            v = ctx.select(ctx.tidx < 10, 7, 3)
+            ctx.store(out, ctx.tidx, v)
+
+        gpu.launch(k, 1, 32, out)
+        vals = out.to_host()
+        assert (vals[:10] == 7).all() and (vals[10:] == 3).all()
+
+
+class TestAccounting:
+    def test_occupancy_histogram_full_warps(self):
+        gpu = fresh_gpu()
+
+        def k(ctx):
+            ctx.alu(1)
+
+        gpu.launch(k, 1, 64)
+        hist = gpu.trace.occupancy_hist
+        assert hist[31] == 2 and hist[:31].sum() == 0
+
+    def test_occupancy_histogram_partial(self):
+        gpu = fresh_gpu()
+
+        def k(ctx):
+            with ctx.masked(ctx.tidx < 40):
+                ctx.alu(1)
+
+        gpu.launch(k, 1, 64)
+        lt = gpu.trace.launches[0]
+        # ALU charged at one full warp (32) and one 8-lane warp; plus the
+        # branch from masked() at both full warps.
+        assert lt.occupancy_hist[31] >= 1
+        assert lt.occupancy_hist[7] == 1
+
+    def test_thread_vs_warp_instructions(self):
+        gpu = fresh_gpu()
+
+        def k(ctx):
+            ctx.alu(3)
+
+        gpu.launch(k, 2, 32)
+        tr = gpu.trace
+        assert tr.issued_warp_insts == 6       # 3 insts x 2 blocks
+        assert tr.thread_insts == 6 * 32
+
+    def test_mem_mix_spaces(self):
+        gpu = fresh_gpu()
+        g = gpu.alloc(32)
+        t = gpu.to_texture(np.zeros(32, dtype=np.float32))
+        c = gpu.to_const(np.zeros(32, dtype=np.float32))
+
+        def k(ctx, g, t, c):
+            ctx.load(g, ctx.tidx)
+            ctx.load(t, ctx.tidx)
+            ctx.load(c, ctx.tidx)
+            s = ctx.shared(32, dtype=np.float32)
+            ctx.store(s, ctx.tidx, 0.0)
+
+        gpu.launch(k, 1, 32, g, t, c)
+        mix = gpu.trace.mem_mix()
+        assert mix["global"] == pytest.approx(0.25)
+        assert mix["tex"] == pytest.approx(0.25)
+        assert mix["const"] == pytest.approx(0.25)
+        assert mix["shared"] == pytest.approx(0.25)
+
+    def test_shared_bank_conflicts_charged_per_warp(self):
+        gpu = fresh_gpu()
+
+        def k(ctx):
+            s = ctx.shared(64 * 32, dtype=np.float32)
+            # Stride-32 words: every lane in a warp hits bank 0.
+            ctx.store(s, ctx.tidx * 32, 1.0)
+
+        gpu.launch(k, 1, 64, )
+        lt = gpu.trace.launches[0]
+        # Two warps, each with a 32-way conflict -> 31 replays each.
+        assert lt.shared_replays == 62
+
+    def test_global_transactions_coalesced(self):
+        gpu = fresh_gpu()
+        g = gpu.alloc(512, dtype=np.float32)
+
+        def k(ctx, g):
+            ctx.load(g, ctx.tidx)           # unit stride: 2 tx/warp
+            ctx.load(g, ctx.tidx * 16)      # 64B stride: 32 tx/warp
+
+        gpu.launch(k, 1, 32, g)
+        lt = gpu.trace.launches[0]
+        assert lt.n_transactions == 2 + 32
+
+    def test_uniform_const_no_serialization(self):
+        gpu = fresh_gpu()
+        c = gpu.to_const(np.zeros(8, dtype=np.float32))
+
+        def k(ctx, c):
+            ctx.load(c, 3)
+
+        gpu.launch(k, 1, 32, c)
+        assert gpu.trace.launches[0].const_serializations == 0
+
+    def test_divergent_const_serializes(self):
+        gpu = fresh_gpu()
+        c = gpu.to_const(np.zeros(1024, dtype=np.float32))
+
+        def k(ctx, c):
+            ctx.load(c, ctx.tidx * 16)  # several 64B lines per warp
+
+        gpu.launch(k, 1, 32, c)
+        assert gpu.trace.launches[0].const_serializations > 0
+
+    def test_tex_cache_hits_on_reuse(self):
+        gpu = fresh_gpu()
+        t = gpu.to_texture(np.zeros(64, dtype=np.float32))
+
+        def k(ctx, t):
+            ctx.load(t, ctx.tidx)
+            ctx.load(t, ctx.tidx)  # second access hits
+
+        gpu.launch(k, 1, 32, t)
+        lt = gpu.trace.launches[0]
+        assert lt.tex_hits >= 32
+
+
+class TestMemorySemantics:
+    def test_out_of_bounds_faults(self):
+        gpu = fresh_gpu()
+        g = gpu.alloc(16)
+
+        def k(ctx, g):
+            ctx.load(g, ctx.tidx)  # lanes 16..31 out of bounds
+
+        with pytest.raises(KernelFault):
+            gpu.launch(k, 1, 32, g)
+
+    def test_masked_oob_is_safe(self):
+        gpu = fresh_gpu()
+        g = gpu.alloc(16)
+
+        def k(ctx, g):
+            with ctx.masked(ctx.tidx < 16):
+                ctx.load(g, ctx.tidx)
+
+        gpu.launch(k, 1, 32, g)  # should not raise
+
+    def test_atomic_add_with_duplicates(self):
+        gpu = fresh_gpu()
+        g = gpu.alloc(1, dtype=np.int64)
+
+        def k(ctx, g):
+            ctx.atomic_add(g, ctx.const(0, dtype=np.int64), 1)
+
+        gpu.launch(k, 1, 64, g)
+        assert g.to_host()[0] == 64
+
+    def test_block_reduce_sum(self):
+        gpu = fresh_gpu()
+        out = gpu.alloc(1, dtype=np.float64)
+
+        def k(ctx, out):
+            smem = ctx.shared(ctx.nthreads, dtype=np.float64)
+            total = ctx.block_reduce_sum(ctx.tidx.astype(np.float64), smem)
+            with ctx.masked(ctx.tidx == 0):
+                ctx.store(out, ctx.const(0, np.int64), total)
+
+        gpu.launch(k, 1, 128, out)
+        assert out.to_host()[0] == pytest.approx(sum(range(128)))
+
+    def test_shared_fresh_per_block(self):
+        gpu = fresh_gpu()
+        out = gpu.alloc(4, dtype=np.float32)
+
+        def k(ctx, out):
+            s = ctx.shared(32, dtype=np.float32)
+            v = ctx.load(s, ctx.tidx)  # zero-initialized every block
+            with ctx.masked(ctx.tidx == 0):
+                ctx.store(out, ctx.const(ctx.bidx, np.int64), v)
+            ctx.store(s, ctx.tidx, 99.0)
+
+        gpu.launch(k, 4, 32, out)
+        assert (out.to_host() == 0).all()
+
+    def test_reset_trace(self):
+        gpu = fresh_gpu()
+        gpu.launch(lambda ctx: ctx.alu(1), 1, 32)
+        first = gpu.reset_trace()
+        assert first.issued_warp_insts > 0
+        assert gpu.trace.issued_warp_insts == 0

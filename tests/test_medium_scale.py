@@ -1,0 +1,45 @@
+"""MEDIUM-scale smoke tests.
+
+The benchmark harness runs at SMALL; these confirm a representative
+workload subset also verifies at MEDIUM (larger grids, deeper loops),
+guarding the scale knob itself against size-dependent bugs (tile
+boundary conditions, grid-coverage arithmetic, convergence caps).
+"""
+
+import pytest
+
+from repro.common.config import SimScale
+from repro.cpusim import Machine
+from repro.gpusim import GPU
+from repro.workloads import get
+
+# Chosen for size-sensitive logic: 2-D tiling (hotspot), wavefront
+# geometry (nw), persistent blocks + column chunking (leukocyte).
+GPU_SUBSET = ["hotspot", "nw", "leukocyte"]
+CPU_SUBSET = ["hotspot", "canneal", "raytrace"]
+
+
+@pytest.mark.parametrize("name", GPU_SUBSET)
+def test_gpu_medium(name):
+    defn = get(name)
+    gpu = GPU()
+    result = defn.gpu_fn(gpu, SimScale.MEDIUM)
+    defn.check_gpu(result, SimScale.MEDIUM)
+    assert gpu.trace.thread_insts > 0
+
+
+@pytest.mark.parametrize("name", CPU_SUBSET)
+def test_cpu_medium(name):
+    defn = get(name)
+    machine = Machine()
+    result = defn.cpu_fn(machine, SimScale.MEDIUM)
+    defn.check_cpu(result, SimScale.MEDIUM)
+    assert machine.n_accesses > 0
+
+
+def test_medium_strictly_bigger_than_tiny():
+    defn = get("hotspot")
+    g_tiny, g_med = GPU(), GPU()
+    defn.gpu_fn(g_tiny, SimScale.TINY)
+    defn.gpu_fn(g_med, SimScale.MEDIUM)
+    assert g_med.trace.thread_insts > 4 * g_tiny.trace.thread_insts

@@ -1,0 +1,84 @@
+"""Tests for the experimental Parsec GPU ports (Section V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import SimScale
+from repro.gpusim import GPU
+from repro.gpusim.divergence import analyze_divergence
+from repro.workloads import base as wl
+from repro.workloads.parsec import blackscholes, raytrace
+
+SCALE = SimScale.TINY
+
+
+class TestBlackscholesPort:
+    def test_matches_reference(self):
+        gpu = GPU()
+        result = blackscholes.gpu_port_run(gpu, SCALE)
+        blackscholes.check_gpu_port(result, SCALE)
+
+    def test_matches_cpu_twin(self):
+        from repro.cpusim import Machine
+        gpu = GPU()
+        gpu_prices = blackscholes.gpu_port_run(gpu, SCALE)
+        machine = Machine()
+        cpu_prices = blackscholes.cpu_run(machine, SCALE)
+        np.testing.assert_allclose(gpu_prices, cpu_prices, rtol=1e-12)
+
+    def test_easy_port_profile(self):
+        """No divergence, no shared memory, pure streaming."""
+        gpu = GPU()
+        blackscholes.gpu_port_run(gpu, SCALE)
+        tr = gpu.trace
+        div = analyze_divergence(tr)
+        assert div.simd_efficiency > 0.95
+        assert tr.mem_mix()["global"] > 0.95
+
+
+class TestRaytracePort:
+    def test_matches_reference(self):
+        gpu = GPU()
+        result = raytrace.gpu_port_run(gpu, SCALE)
+        raytrace.check_gpu_port(result, SCALE)
+
+    def test_matches_cpu_twin(self):
+        from repro.cpusim import Machine
+        gpu = GPU()
+        img_gpu = raytrace.gpu_port_run(gpu, SCALE)
+        machine = Machine()
+        img_cpu = raytrace.cpu_run(machine, SCALE)
+        np.testing.assert_allclose(img_gpu, img_cpu, rtol=1e-8, atol=1e-12)
+
+    def test_hard_port_profile(self):
+        """Divergent BVH walks: MUMmer-like warp behaviour."""
+        gpu = GPU()
+        raytrace.gpu_port_run(gpu, SCALE)
+        tr = gpu.trace
+        div = analyze_divergence(tr)
+        buckets = tr.occupancy_buckets()
+        assert div.simd_efficiency < 0.8
+        assert buckets["1-8"] + buckets["9-16"] > 0.3
+        # The BVH rides in texture memory, like MUMmer's suffix tree.
+        assert tr.mem_mix()["tex"] > 0.3
+
+
+class TestRegistryUnchanged:
+    def test_parsec_suite_remains_cpu_only(self):
+        """The ports are experimental; the registry keeps the paper's
+        suite structure (Parsec = CPU suites)."""
+        wl.load_all()
+        for d in wl.all_parsec():
+            assert d.gpu_fn is None, d.meta.name
+
+
+class TestPortExperiment:
+    def test_driver_runs_and_orders(self):
+        from repro.experiments import get_driver
+        res = get_driver("ext_parsec_ports")(SCALE)
+        d = res.data
+        # The easy port runs at full SIMD efficiency; the hard port
+        # diverges — exactly the Section V-B contrast.
+        assert d["blackscholes(P)"]["simd_eff"] > d["raytrace(P)"]["simd_eff"]
+        assert d["raytrace(P)"]["low_occ"] > 0.3
+        assert d["rodinia_median_ipc"] > 0

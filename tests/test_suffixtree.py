@@ -1,0 +1,96 @@
+"""Tests for the Ukkonen suffix tree (MUMmer's substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.rodinia.suffixtree import (
+    SIGMA,
+    FlatSuffixTree,
+    SuffixTree,
+    flat_match_length,
+)
+
+
+def _brute_match_length(seq, pattern):
+    s = bytes(int(c) for c in seq)
+    for length in range(len(pattern), 0, -1):
+        if s.find(bytes(int(c) for c in pattern[:length])) >= 0:
+            return length
+    return 0
+
+
+class TestConstruction:
+    def test_all_suffixes_present(self):
+        seq = np.array([0, 1, 2, 0, 1, 3, 2, 1], dtype=np.int8)
+        tree = SuffixTree(seq)
+        for i in range(len(seq)):
+            assert tree.contains(seq[i:]), f"suffix {i} missing"
+
+    def test_absent_patterns_rejected(self):
+        seq = np.array([0, 0, 0, 0], dtype=np.int8)
+        tree = SuffixTree(seq)
+        assert not tree.contains(np.array([1], dtype=np.int8))
+        assert tree.match_length(np.array([0, 0, 1], dtype=np.int8)) == 2
+
+    def test_single_char(self):
+        tree = SuffixTree(np.array([2], dtype=np.int8))
+        assert tree.contains(np.array([2], dtype=np.int8))
+        assert not tree.contains(np.array([3], dtype=np.int8))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 3), min_size=1, max_size=120),
+        st.lists(st.integers(0, 3), min_size=1, max_size=20),
+    )
+    def test_match_length_matches_brute_force(self, seq_l, pat_l):
+        seq = np.array(seq_l, dtype=np.int8)
+        pat = np.array(pat_l, dtype=np.int8)
+        tree = SuffixTree(seq)
+        assert tree.match_length(pat) == _brute_match_length(seq, pat)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=2, max_size=100),
+           st.data())
+    def test_embedded_reads_fully_match(self, seq_l, data):
+        seq = np.array(seq_l, dtype=np.int8)
+        lo = data.draw(st.integers(0, len(seq_l) - 1))
+        hi = data.draw(st.integers(lo + 1, len(seq_l)))
+        assert SuffixTree(seq).contains(seq[lo:hi])
+
+
+class TestFlattening:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 3), min_size=1, max_size=100),
+        st.lists(st.integers(0, 3), min_size=1, max_size=20),
+    )
+    def test_flat_walk_equals_object_walk(self, seq_l, pat_l):
+        seq = np.array(seq_l, dtype=np.int8)
+        pat = np.array(pat_l, dtype=np.int8)
+        tree = SuffixTree(seq)
+        flat = tree.flatten()
+        assert flat_match_length(flat, pat) == tree.match_length(pat)
+
+    def test_flat_arrays_consistent(self):
+        seq = np.array([0, 1, 2, 3, 0, 1], dtype=np.int8)
+        flat = SuffixTree(seq).flatten()
+        n = flat.n_nodes
+        assert flat.children.size == n * SIGMA
+        # Edges reference valid text slices.
+        for node in range(1, n):
+            start = flat.edge_start[node]
+            length = flat.edge_len[node]
+            assert length >= 1
+            assert 0 <= start and start + length <= flat.text.size
+        # Every non-root node is some node's child exactly once.
+        children = flat.children[flat.children > 0]
+        assert sorted(children.tolist()) == list(range(1, n))
+
+    def test_node_count_linear(self):
+        # Ukkonen guarantees at most 2n nodes.
+        rng = np.random.default_rng(0)
+        seq = rng.integers(0, 4, 500).astype(np.int8)
+        flat = SuffixTree(seq).flatten()
+        assert flat.n_nodes <= 2 * (seq.size + 1)

@@ -1,0 +1,136 @@
+"""End-to-end tests of every Parsec workload."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import SimScale
+from repro.cpusim import Machine
+from repro.workloads import base as wl
+
+wl.load_all()
+PARSEC = [d.meta.name for d in wl.all_parsec()]
+
+
+@pytest.mark.parametrize("name", PARSEC)
+def test_cpu_implementation_correct(name):
+    defn = wl.get(name)
+    machine = Machine()
+    result = defn.cpu_fn(machine, SimScale.TINY)
+    defn.check_cpu(result, SimScale.TINY)
+    assert machine.n_accesses > 0
+
+
+@pytest.mark.parametrize("name", PARSEC)
+def test_trace_budget_reasonable(name):
+    """SMALL-scale traces stay small enough for the reuse-distance pass."""
+    defn = wl.get(name)
+    machine = Machine()
+    defn.cpu_fn(machine, SimScale.TINY)
+    assert machine.n_accesses < 2_000_000
+
+
+class TestRegistry:
+    def test_thirteen_parsec_workloads(self):
+        assert len(PARSEC) == 13
+
+    def test_table5_names(self):
+        expected = {
+            "blackscholes", "bodytrack", "canneal", "dedup", "facesim",
+            "ferret", "fluidanimate", "freqmine", "raytrace",
+            "streamcluster_p", "swaptions", "vips", "x264",
+        }
+        assert set(PARSEC) == expected
+
+    def test_no_gpu_implementations(self):
+        for d in wl.all_parsec():
+            assert d.gpu_fn is None, d.meta.name
+
+
+class TestSignatureBehaviours:
+    """Characteristics the paper attributes to specific Parsec workloads."""
+
+    def _metrics(self, name):
+        from repro.core.features import cpu_metrics_for
+        return cpu_metrics_for(name, SimScale.TINY)
+
+    def test_blackscholes_is_compute_bound(self):
+        met = self._metrics("blackscholes")
+        assert met.inst_mix["alu"] > 0.7
+
+    def test_blackscholes_no_sharing(self):
+        met = self._metrics("blackscholes")
+        assert met.sharing.shared_access_ratio < 0.05
+
+    def test_canneal_misses_most(self):
+        canneal = self._metrics("canneal").miss_rate_4mb
+        swaptions = self._metrics("swaptions").miss_rate_4mb
+        assert canneal > swaptions
+
+    def test_dedup_pipeline_communicates(self):
+        met = self._metrics("dedup")
+        assert met.sharing.consumer_read_ratio > 0.001
+
+    def test_ferret_pipeline_communicates(self):
+        met = self._metrics("ferret")
+        assert met.sharing.consumer_read_ratio > 0.0005
+
+    def test_streamcluster_twins_identical(self):
+        a = self._metrics("streamcluster")
+        b = self._metrics("streamcluster_p")
+        assert a.inst_mix == b.inst_mix
+        assert a.miss_rate_4mb == b.miss_rate_4mb
+
+
+class TestDedupRoundTrip:
+    def test_rle_decodes_to_original(self):
+        import numpy as np
+        from repro.workloads.parsec.dedup import _rle
+        rng = np.random.default_rng(9)
+        for _ in range(20):
+            chunk = rng.integers(0, 4, rng.integers(1, 600)).astype(np.uint8)
+            runs = _rle(chunk)
+            decoded = np.concatenate(
+                [np.full(n, v, dtype=np.uint8) for v, n in runs]
+            )
+            np.testing.assert_array_equal(decoded, chunk)
+
+    def test_boundaries_cover_stream(self):
+        import numpy as np
+        from repro.inputs.misc import dedup_stream
+        from repro.workloads.parsec.dedup import _boundaries
+        data = dedup_stream(40000)
+        edges = _boundaries(data)
+        assert edges[0] == 0 and edges[-1] == data.size
+        assert (np.diff(edges) > 0).all()
+
+
+class TestCrossValidation:
+    def test_blackscholes_put_call_parity(self):
+        from repro.inputs.misc import option_portfolio
+        from repro.workloads.parsec.blackscholes import _price
+        o = option_portfolio(200)
+        call = _price(o["spot"], o["strike"], o["rate"], o["volatility"],
+                      o["expiry"], np.ones(200, dtype=bool))
+        put = _price(o["spot"], o["strike"], o["rate"], o["volatility"],
+                     o["expiry"], np.zeros(200, dtype=bool))
+        lhs = call - put
+        rhs = o["spot"] - o["strike"] * np.exp(-o["rate"] * o["expiry"])
+        # The polynomial CNDF is accurate to ~1e-7.
+        np.testing.assert_allclose(lhs, rhs, atol=1e-4)
+
+    def test_blackscholes_cndf_vs_scipy(self):
+        from scipy.stats import norm
+        from repro.workloads.parsec.blackscholes import _cndf
+        x = np.linspace(-4, 4, 101)
+        np.testing.assert_allclose(_cndf(x), norm.cdf(x), atol=5e-7)
+
+    def test_raytrace_bvh_equals_bruteforce(self):
+        # check_cpu already compares the BVH render to brute force; here
+        # verify the BVH actually prunes (fewer sphere tests than n^2).
+        from repro.workloads.parsec import raytrace
+        p = raytrace.cpu_sizes(SimScale.TINY)
+        machine = Machine()
+        raytrace.cpu_run(machine, SimScale.TINY)
+        rays = p["h"] * p["w"]
+        # Loads on the sphere arrays bound the intersection tests.
+        assert machine.counts.load < rays * p["n_spheres"] * 4
