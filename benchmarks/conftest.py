@@ -4,16 +4,51 @@ Benchmarks run the paper's experiments at SMALL scale (override with
 ``REPRO_BENCH_SCALE=tiny|small|medium``) and write each experiment's
 rendered tables to ``benchmarks/results/<id>.txt`` so the regenerated
 paper data survives the run.
+
+Every benchmark's wall-clock time is appended to
+``benchmarks/BENCH_timings.json`` at session end — one record per
+session with a per-test breakdown — so performance regressions across
+commits show up as data, not anecdotes.
 """
 
+import json
 import os
 import pathlib
+import time
 
 import pytest
 
 from repro.common.config import SimScale
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+TIMINGS_PATH = pathlib.Path(__file__).parent / "BENCH_timings.json"
+
+_timings = {}
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call" and report.passed:
+        _timings[report.nodeid] = round(report.duration, 4)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _timings:
+        return
+    try:
+        history = json.loads(TIMINGS_PATH.read_text())
+        if not isinstance(history, list):
+            history = []
+    except (OSError, ValueError):
+        history = []
+    history.append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "scale": os.environ.get("REPRO_BENCH_SCALE", "small"),
+            "total_s": round(sum(_timings.values()), 4),
+            "tests": dict(sorted(_timings.items())),
+        }
+    )
+    TIMINGS_PATH.write_text(json.dumps(history, indent=2) + "\n")
 
 
 @pytest.fixture(scope="session")

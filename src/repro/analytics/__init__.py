@@ -1,0 +1,54 @@
+"""Batch/vectorized trace analytics.
+
+The per-access analysis loops in :mod:`repro.cpusim` and
+:mod:`repro.gpusim` are exact but pure Python; every paper figure is
+bottlenecked on them.  This package provides batch replacements that
+produce *bit-identical* results on whole traces at once:
+
+- :mod:`repro.analytics.reuse` — LRU stack distances via the offline
+  previous-occurrence + sort-based counting algorithm (no per-access
+  Fenwick loop).
+- :mod:`repro.analytics.cache` — set-associative LRU simulation that
+  stable-sorts accesses by set index and advances every set one access
+  per vectorized round through a way matrix; the cache-size sweep
+  shares the set partition across sizes by radix refinement.
+- :mod:`repro.analytics.sharing` — grouped-by-line consumer-read
+  counting and residency-windowed sharing on the way-matrix engine.
+- :mod:`repro.analytics.coherence` — private-cache MSI simulation
+  vectorized across sets (all protocol interactions are line-local,
+  hence set-local).
+
+The scalar implementations remain in their original modules as the
+test oracles; the property suite in ``tests/test_analytics_equivalence``
+asserts bit-for-bit agreement on random and adversarial traces.
+"""
+
+from repro.analytics.cache import (
+    batch_worthwhile,
+    miss_rates_exact_batch,
+    simulate_lru_sets,
+)
+from repro.analytics.coherence import simulate_coherent_caches_batch
+from repro.analytics.reuse import (
+    count_earlier_leq,
+    previous_occurrence,
+    reuse_distance_histogram_batch,
+    stack_distances,
+)
+from repro.analytics.sharing import (
+    count_consumer_reads_batch,
+    sharing_at_size_batch,
+)
+
+__all__ = [
+    "previous_occurrence",
+    "count_earlier_leq",
+    "stack_distances",
+    "reuse_distance_histogram_batch",
+    "simulate_lru_sets",
+    "miss_rates_exact_batch",
+    "batch_worthwhile",
+    "count_consumer_reads_batch",
+    "sharing_at_size_batch",
+    "simulate_coherent_caches_batch",
+]

@@ -1,0 +1,142 @@
+"""Batch sharing analysis.
+
+Two pieces of :mod:`repro.cpusim.sharing` walk the trace in Python:
+
+- ``_count_consumer_reads`` — replaced by a grouped-by-line pass: one
+  stable sort groups each line's accesses in time order, a segmented
+  running maximum carries "index of the most recent write" down each
+  group, and a final gather compares writer and reader thread ids.
+
+- ``sharing_at_size`` — the residency-windowed analysis runs on the
+  way-matrix engine of :mod:`repro.analytics.cache`, with a parallel
+  matrix of per-residency sharer *bitmasks* (one bit per thread id)
+  carried through the same gather-shift as the line addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.analytics.cache import EMPTY_LINE, batch_worthwhile, partition_by_set
+
+#: Sharer masks are uint64 bitfields — one bit per thread id.
+MAX_BATCH_TIDS = 64
+
+
+def _popcount(a: np.ndarray) -> np.ndarray:
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(a)
+    v = a.astype(np.uint64).copy()
+    out = np.zeros(a.shape, dtype=np.int64)
+    while np.any(v):
+        out += (v & 1).astype(np.int64)
+        v >>= np.uint64(1)
+    return out
+
+
+def count_consumer_reads_batch(
+    lines: np.ndarray, tids: np.ndarray, writes: np.ndarray
+) -> int:
+    """Reads whose line's most recent writer is a different thread.
+
+    Bit-identical to the scalar last-writer walk.
+    """
+    n = lines.size
+    if n == 0:
+        return 0
+    order = np.argsort(lines, kind="stable")
+    sl = lines[order]
+    sw = writes[order].astype(bool)
+    pos = np.arange(n, dtype=np.int64)
+    group_start = np.empty(n, dtype=np.int64)
+    group_start[0] = 0
+    new_group = sl[1:] != sl[:-1]
+    np.maximum.accumulate(
+        np.where(np.concatenate(([True], new_group)), pos, 0), out=group_start
+    )
+    # Running "sorted position of the latest write"; a value below the
+    # group start belongs to an earlier line and means "no write yet".
+    last_write = np.maximum.accumulate(np.where(sw, pos, -1))
+    last_write_before = np.concatenate(([-1], last_write[:-1]))
+    valid = last_write_before >= group_start
+    reads = ~sw & valid
+    writer_tid = np.zeros(n, dtype=np.int64)
+    writer_tid[reads] = tids[order][last_write_before[reads]]
+    consumer = reads & (writer_tid != tids[order])
+    return int(consumer.sum())
+
+
+def sharing_at_size_batch(
+    lines: np.ndarray,
+    tids: np.ndarray,
+    n_sets: int,
+    assoc: int,
+    force: bool = False,
+) -> Optional[Tuple[int, int, int]]:
+    """Residency-windowed sharing through per-set LRU with sharer masks.
+
+    Returns ``(shared_accesses, lifetimes, shared_lifetimes)`` exactly
+    matching the scalar ``sharing_at_size`` walk, or ``None`` when the
+    trace shape doesn't suit the batch engine (caller falls back).
+    """
+    n = lines.size
+    if n == 0:
+        return 0, 0, 0
+    if tids.size and int(tids.max()) >= MAX_BATCH_TIDS:
+        return None
+    part = partition_by_set(lines % n_sets)
+    if not force and not batch_worthwhile(n, part.counts):
+        return None
+    sorted_lines = lines[part.order]
+    sorted_bits = np.uint64(1) << tids[part.order].astype(np.uint64)
+    G = part.n_groups
+    desc = np.argsort(-part.counts, kind="stable")
+    dstarts = part.starts[desc]
+    neg_counts = -part.counts[desc]
+    maxlen = int(part.counts[desc[0]])
+    W = np.full((G, assoc), EMPTY_LINE, dtype=np.int64)
+    M = np.zeros((G, assoc), dtype=np.uint64)   # sharer masks per way
+    lengths = np.zeros(G, dtype=np.int64)
+    cols = np.arange(assoc)
+    shared_accesses = 0
+    lifetimes = 0
+    shared_lifetimes = 0
+    for r in range(maxlen):
+        k = int(np.searchsorted(neg_counts, -(r + 1), side="right"))
+        idx = dstarts[:k] + r
+        x = sorted_lines[idx]
+        bit = sorted_bits[idx]
+        Wk = W[:k]
+        Mk = M[:k]
+        match = Wk == x[:, None]
+        hit = match.any(axis=1)
+        pos = match.argmax(axis=1)
+        rows = np.arange(k)
+        seen = Mk[rows, pos]
+        # Scalar rule: a hit counts as shared when this thread is new to
+        # the residency, or more than one thread already touched it.
+        shared_now = hit & (((seen & bit) == 0) | (_popcount(seen) > 1))
+        shared_accesses += int(shared_now.sum())
+        full = lengths[:k] >= assoc
+        evict = ~hit & full
+        if evict.any():
+            victims = Mk[evict, assoc - 1]
+            lifetimes += int(evict.sum())
+            shared_lifetimes += int((_popcount(victims) > 1).sum())
+        limit = np.where(hit, pos, np.minimum(lengths[:k], assoc - 1))
+        src = cols - (cols <= limit[:, None])
+        src[:, 0] = 0
+        Wn = np.take_along_axis(Wk, src, axis=1)
+        Mn = np.take_along_axis(Mk, src, axis=1)
+        Wn[:, 0] = x
+        Mn[:, 0] = np.where(hit, seen | bit, bit)
+        W[:k] = Wn
+        M[:k] = Mn
+        lengths[:k] = np.minimum(lengths[:k] + ~hit, assoc)
+    # Close out still-resident lifetimes.
+    resident = cols[None, :] < lengths[:, None]
+    lifetimes += int(lengths.sum())
+    shared_lifetimes += int((_popcount(M[resident]) > 1).sum())
+    return shared_accesses, lifetimes, shared_lifetimes

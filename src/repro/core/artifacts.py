@@ -1,0 +1,211 @@
+"""Persistent, content-keyed artifact cache.
+
+The expensive products of a characterization run are the functional
+executions: a workload's CPU trace characterization
+(:class:`~repro.cpusim.metrics.CPUMetrics`) and its GPU kernel trace
+(:class:`~repro.gpusim.trace.KernelTrace`).  Everything downstream
+(timing models, PCA, tables) is cheap.  This module persists those two
+artifact kinds under a cache directory so repeated experiment runs —
+and parallel runs in other processes — skip re-execution entirely.
+
+Keys are content hashes: workload name, scale, GPU code version, the
+*source code* of the workload function (so editing a workload
+invalidates its artifacts), the substrate configuration (machine
+geometry / functional-trace parameters), and a format version.  A stale
+entry is therefore impossible by construction; there is no TTL and no
+manual invalidation step.
+
+Layout: ``<root>/<kind>-<name>-<scale>-<hash12>.{json,npz}`` — flat,
+human-listable, safe for concurrent writers (atomic tmp + rename).
+
+Control:
+
+- ``REPRO_CACHE_DIR`` — cache root (default ``.repro_cache`` under the
+  current directory).
+- ``REPRO_CACHE=off`` (or ``0``/``no``) — disable persistence entirely.
+- :func:`set_artifact_cache` — programmatic override (tests, runner
+  ``--no-cache``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.common.config import SimScale
+from repro.cpusim.metrics import CPUMetrics
+from repro.cpusim.sharing import SharingStats
+from repro.gpusim.trace import KernelTrace
+from repro.gpusim.trace_io import load_trace, save_trace
+
+#: Bump when the serialized layout or the meaning of a cached artifact
+#: changes; old entries are simply never matched again.
+ARTIFACT_FORMAT = 1
+
+_DISABLE_VALUES = ("off", "0", "no", "false")
+
+
+def _source_fingerprint(fn) -> str:
+    """Hashable identity of a workload function's implementation."""
+    if fn is None:
+        return "none"
+    try:
+        return inspect.getsource(fn)
+    except (OSError, TypeError):
+        return getattr(fn, "__qualname__", repr(fn))
+
+
+def artifact_key(
+    kind: str,
+    name: str,
+    scale: SimScale,
+    source: str = "",
+    config: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Content hash identifying one artifact (first 12 hex digits)."""
+    payload = json.dumps(
+        {
+            "format": ARTIFACT_FORMAT,
+            "kind": kind,
+            "name": name,
+            "scale": scale.value,
+            "source": source,
+            "config": config or {},
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+
+def _metrics_to_dict(metrics: CPUMetrics) -> Dict[str, Any]:
+    d = dataclasses.asdict(metrics)
+    # JSON turns int dict keys into strings; keep the curve as pairs.
+    d["miss_curve"] = sorted(metrics.miss_curve.items())
+    return d
+
+
+def _metrics_from_dict(d: Dict[str, Any]) -> CPUMetrics:
+    d = dict(d)
+    d["miss_curve"] = {int(size): float(rate) for size, rate in d["miss_curve"]}
+    d["sharing"] = SharingStats(**d["sharing"])
+    return CPUMetrics(**d)
+
+
+class ArtifactCache:
+    """Filesystem cache of characterization artifacts."""
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
+
+    # -- generic helpers ------------------------------------------------
+    def _path(self, kind: str, name: str, scale: SimScale, key: str,
+              suffix: str) -> Path:
+        return self.root / f"{kind}-{name}-{scale.value}-{key}{suffix}"
+
+    def _write_atomic(self, path: Path, write_fn) -> None:
+        # The temp file keeps the final suffix (np.savez appends ".npz"
+        # to anything else) and lives in the same directory so the
+        # rename is atomic on the same filesystem.
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=path.stem + ".tmp.", suffix=path.suffix
+        )
+        os.close(fd)
+        try:
+            write_fn(tmp)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    # -- CPU metrics ----------------------------------------------------
+    def cpu_key(self, name: str, scale: SimScale, cpu_fn,
+                config: Optional[Dict[str, Any]] = None) -> str:
+        return artifact_key(
+            "cpu", name, scale, _source_fingerprint(cpu_fn), config
+        )
+
+    def get_cpu(self, name: str, scale: SimScale, key: str) -> Optional[CPUMetrics]:
+        path = self._path("cpu", name, scale, key, ".json")
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return _metrics_from_dict(json.load(fh))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put_cpu(self, name: str, scale: SimScale, key: str,
+                metrics: CPUMetrics) -> None:
+        path = self._path("cpu", name, scale, key, ".json")
+        payload = json.dumps(_metrics_to_dict(metrics))
+
+        def write(tmp):
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+
+        self._write_atomic(path, write)
+
+    # -- GPU kernel traces ----------------------------------------------
+    def gpu_key(self, name: str, scale: SimScale, version: int, gpu_fn,
+                config: Optional[Dict[str, Any]] = None) -> str:
+        cfg = dict(config or {})
+        cfg["version"] = version
+        return artifact_key(
+            "gpu", name, scale, _source_fingerprint(gpu_fn), cfg
+        )
+
+    def get_gpu(self, name: str, scale: SimScale, key: str) -> Optional[KernelTrace]:
+        path = self._path("gpu", name, scale, key, ".npz")
+        try:
+            return load_trace(path)
+        except (OSError, ValueError, KeyError, EOFError):
+            return None
+
+    def put_gpu(self, name: str, scale: SimScale, key: str,
+                trace: KernelTrace) -> None:
+        path = self._path("gpu", name, scale, key, ".npz")
+        self._write_atomic(path, lambda tmp: save_trace(trace, tmp))
+
+
+# ----------------------------------------------------------------------
+# Default cache resolution
+# ----------------------------------------------------------------------
+_override: Optional[ArtifactCache] = None
+_override_set = False
+
+
+def default_cache() -> Optional[ArtifactCache]:
+    """The environment-configured cache, or ``None`` when disabled."""
+    if os.environ.get("REPRO_CACHE", "").strip().lower() in _DISABLE_VALUES:
+        return None
+    root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    return ArtifactCache(root)
+
+
+def get_artifact_cache() -> Optional[ArtifactCache]:
+    """The active cache: explicit override first, then the environment."""
+    if _override_set:
+        return _override
+    return default_cache()
+
+
+def set_artifact_cache(cache: Optional[ArtifactCache], *,
+                       clear: bool = False) -> None:
+    """Install (or with ``clear=True`` remove) a cache override.
+
+    ``set_artifact_cache(None)`` forces caching *off* regardless of the
+    environment; ``set_artifact_cache(None, clear=True)`` restores
+    environment-driven resolution.
+    """
+    global _override, _override_set
+    if clear:
+        _override = None
+        _override_set = False
+    else:
+        _override = cache
+        _override_set = True

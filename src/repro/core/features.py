@@ -15,12 +15,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.common.config import SimScale
+from repro.core.artifacts import get_artifact_cache
 from repro.cpusim import CodeFootprintTracer, CPUMetrics, Machine, characterize_trace
 from repro.gpusim import GPU, GPUConfig, KernelTrace
 from repro.workloads import base as wl
 
 _cpu_cache: Dict[Tuple[str, SimScale], CPUMetrics] = {}
 _gpu_cache: Dict[Tuple[str, SimScale, int], KernelTrace] = {}
+
+#: Probe: one entry per *actual* workload execution (cache misses only).
+#: Tests use this to assert that a warm artifact cache skips execution.
+EXECUTIONS: List[Tuple[str, str, str]] = []
 
 #: Feature-subset names accepted by :func:`feature_matrix`.
 SUBSETS = ("mix", "workingset", "sharing", "all")
@@ -50,24 +55,51 @@ def display_label(name: str) -> str:
     return f"{name}({suffix})"
 
 
+def _machine_config() -> Dict[str, int]:
+    """Substrate parameters entering the CPU artifact key."""
+    m = Machine()
+    return {
+        "n_threads": m.n_threads,
+        "line_size": m.line_size,
+        "quantum": m.quantum,
+    }
+
+
 def cpu_metrics_for(
     name: str, scale: SimScale = SimScale.SMALL, check: bool = True
 ) -> CPUMetrics:
-    """Run a workload's CPU implementation and characterize its trace."""
+    """Run a workload's CPU implementation and characterize its trace.
+
+    Results are memoized per process and persisted in the artifact cache
+    (see :mod:`repro.core.artifacts`), so a workload executes at most
+    once per (implementation, scale, machine config) across all runs.
+    """
     key = (name, scale)
     if key not in _cpu_cache:
         defn = wl.get(name)
         if defn.cpu_fn is None:
             raise ValueError(f"{name} has no CPU implementation")
+        disk = get_artifact_cache()
+        dkey = None
+        if disk is not None:
+            dkey = disk.cpu_key(name, scale, defn.cpu_fn, _machine_config())
+            cached = disk.get_cpu(name, scale, dkey)
+            if cached is not None:
+                _cpu_cache[key] = cached
+                return cached
+        EXECUTIONS.append(("cpu", name, scale.value))
         machine = Machine()
         tracer = CodeFootprintTracer()
         with tracer:
             result = defn.cpu_fn(machine, scale)
         if check and defn.check_cpu is not None:
             defn.check_cpu(result, scale)
-        _cpu_cache[key] = characterize_trace(
+        metrics = characterize_trace(
             machine, name, code_footprint_64b=tracer.footprint_blocks()
         )
+        _cpu_cache[key] = metrics
+        if disk is not None:
+            disk.put_cpu(name, scale, dkey, metrics)
     return _cpu_cache[key]
 
 
@@ -92,17 +124,48 @@ def gpu_trace_for(
             fn = defn.gpu_versions[version]
         if fn is None:
             raise ValueError(f"{name} has no GPU implementation")
+        disk = get_artifact_cache()
+        dkey = None
+        if disk is not None:
+            dkey = disk.gpu_key(name, scale, version or 0, fn)
+            cached = disk.get_gpu(name, scale, dkey)
+            if cached is not None:
+                _gpu_cache[key] = cached
+                return cached
+        EXECUTIONS.append(("gpu", name, scale.value))
         gpu = GPU(app_name=name)
         result = fn(gpu, scale)
         if check and version is None and defn.check_gpu is not None:
             defn.check_gpu(result, scale)
         _gpu_cache[key] = gpu.trace
+        if disk is not None:
+            disk.put_gpu(name, scale, dkey, gpu.trace)
     return _gpu_cache[key]
 
 
 def clear_caches() -> None:
     _cpu_cache.clear()
     _gpu_cache.clear()
+
+
+def warm_workload(name: str, scale_value: str) -> Tuple[str, List[str]]:
+    """Execute one workload's implementations, persisting the artifacts.
+
+    Process-pool worker for ``runner --jobs N``: each worker process
+    fills the shared on-disk artifact cache, after which the parent's
+    experiments run without executing any workload.  Takes/returns only
+    picklable primitives.
+    """
+    scale = SimScale(scale_value)
+    defn = wl.get(name)
+    produced: List[str] = []
+    if defn.cpu_fn is not None:
+        cpu_metrics_for(name, scale)
+        produced.append("cpu")
+    if defn.has_gpu:
+        gpu_trace_for(name, scale)
+        produced.append("gpu")
+    return name, produced
 
 
 def feature_matrix(

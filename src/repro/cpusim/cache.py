@@ -6,11 +6,18 @@ with 64-byte lines, swept from 128 kB to 16 MB.  :class:`SharedCache`
 simulates one such cache over the merged multithreaded trace; the faster
 reuse-distance profile (:mod:`repro.cpusim.reuse`) provides the full
 sweep, validated against this exact simulator in tests.
+
+Whole-trace runs from a cold cache dispatch to the vectorized way-matrix
+engine (:mod:`repro.analytics.cache`) when the trace spreads over enough
+sets; the per-access scalar path below remains the oracle (its per-set
+LRU is an ``OrderedDict``, so hit promotion and eviction are O(1) rather
+than the O(assoc) ``list.remove``/``pop(0)`` dance).
 """
 
 from __future__ import annotations
 
 import dataclasses
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -41,7 +48,8 @@ class SharedCache:
         self.assoc = assoc
         self.line_bytes = line_bytes
         self.n_sets = size_bytes // (assoc * line_bytes)
-        self._sets: Dict[int, list] = {}
+        # set index -> OrderedDict of resident lines, LRU first.
+        self._sets: Dict[int, "OrderedDict[int, None]"] = {}
         self._seen: set = set()
         self.stats = CacheStats()
 
@@ -52,30 +60,92 @@ class SharedCache:
         set_idx = line % self.n_sets
         ways = self._sets.get(set_idx)
         if ways is None:
-            ways = []
+            ways = OrderedDict()
             self._sets[set_idx] = ways
         if line in ways:
-            ways.remove(line)
-            ways.append(line)
+            ways.move_to_end(line)
             return True
         st.misses += 1
         if line not in self._seen:
             st.cold_misses += 1
             self._seen.add(line)
-        ways.append(line)
+        ways[line] = None
         if len(ways) > self.assoc:
-            ways.pop(0)
+            ways.popitem(last=False)
             st.evictions += 1
         return False
 
-    def run(self, addrs: np.ndarray) -> np.ndarray:
-        """Run a byte-address trace; returns per-access hit mask."""
+    def run(
+        self, addrs: np.ndarray, record_hits: bool = True
+    ) -> Optional[np.ndarray]:
+        """Run a byte-address trace; returns the per-access hit mask.
+
+        With ``record_hits=False`` the mask is neither built nor
+        returned — the fast path for stats-only callers.
+        """
+        if self._batchable(addrs.size):
+            result = self._run_batch(addrs, record_hits)
+            if result is not None:
+                hits, ran_batch = result
+                return hits
         lines = (addrs // self.line_bytes).tolist()
-        out = np.empty(len(lines), dtype=bool)
         access = self.access_line
+        if not record_hits:
+            for line in lines:
+                access(line)
+            return None
+        out = np.empty(len(lines), dtype=bool)
         for i, line in enumerate(lines):
             out[i] = access(line)
         return out
+
+    # ------------------------------------------------------------------
+    # Vectorized whole-trace path
+    # ------------------------------------------------------------------
+    def _batchable(self, n: int) -> bool:
+        """Batch only from a cold cache (state import isn't supported)."""
+        return n >= 4096 and not self._sets and self.stats.accesses == 0
+
+    def _run_batch(self, addrs, record_hits):
+        from repro.analytics.cache import (
+            batch_worthwhile,
+            partition_by_set,
+            simulate_lru_sets,
+        )
+
+        lines = (addrs // self.line_bytes).astype(np.int64)
+        part = partition_by_set(lines % self.n_sets)
+        if not batch_worthwhile(lines.size, part.counts):
+            return None
+        res = simulate_lru_sets(
+            lines[part.order],
+            part.starts,
+            part.counts,
+            self.assoc,
+            need_hits=record_hits,
+        )
+        st = self.stats
+        st.accesses += int(lines.size)
+        st.misses += int(res.miss_per_group.sum())
+        uniq = np.unique(lines)
+        st.cold_misses += int(uniq.size)
+        st.evictions += int(
+            np.maximum(res.miss_per_group - self.assoc, 0).sum()
+        )
+        self._seen.update(uniq.tolist())
+        for g in range(part.n_groups):
+            length = int(res.lengths[g])
+            if length:
+                # Way rows are MRU-first; the scalar dict is LRU-first.
+                self._sets[int(part.set_ids[g])] = OrderedDict(
+                    (int(line), None)
+                    for line in res.ways[g, :length][::-1]
+                )
+        if record_hits:
+            hits = np.empty(lines.size, dtype=bool)
+            hits[part.order] = res.hits_sorted
+            return hits, True
+        return None, True
 
     def resident_lines(self) -> set:
         """Lines currently resident (for sharing-in-cache analyses)."""
@@ -93,7 +163,7 @@ def simulate_shared_cache(
 ) -> CacheStats:
     """Convenience wrapper: stats of one trace through one cache."""
     cache = SharedCache(size_bytes, assoc, line_bytes)
-    cache.run(addrs)
+    cache.run(addrs, record_hits=False)
     return cache.stats
 
 
@@ -103,8 +173,12 @@ def miss_rates_exact(
     assoc: int = 4,
     line_bytes: int = 64,
 ) -> Dict[int, float]:
-    """Exact miss rate at each cache size (one pass per size)."""
-    out = {}
-    for size in sizes:
-        out[size] = simulate_shared_cache(addrs, size, assoc, line_bytes).miss_rate
-    return out
+    """Exact miss rate at each cache size.
+
+    The batch sweep shares the per-set partitioning across sizes (each
+    doubling refines the previous partition in O(n)); results are
+    identical to one scalar simulation per size.
+    """
+    from repro.analytics.cache import miss_rates_exact_batch
+
+    return miss_rates_exact_batch(addrs, sizes, assoc, line_bytes)

@@ -138,7 +138,36 @@ def simulate_coherent_caches(
     line_bytes: int = 64,
     n_cores: int = 8,
 ) -> CoherenceStats:
-    """Run a merged multithreaded trace through private coherent caches."""
+    """Run a merged multithreaded trace through private coherent caches.
+
+    Long traces spread over many sets run on the vectorized engine of
+    :mod:`repro.analytics.coherence`; the per-access simulator below
+    remains the oracle.
+    """
+    if addrs.size >= 4096:
+        from repro.analytics.coherence import simulate_coherent_caches_batch
+
+        stats = simulate_coherent_caches_batch(
+            addrs, tids, writes, cache_bytes_per_core, assoc, line_bytes,
+            n_cores,
+        )
+        if stats is not None:
+            return stats
+    return simulate_coherent_caches_scalar(
+        addrs, tids, writes, cache_bytes_per_core, assoc, line_bytes, n_cores
+    )
+
+
+def simulate_coherent_caches_scalar(
+    addrs: np.ndarray,
+    tids: np.ndarray,
+    writes: np.ndarray,
+    cache_bytes_per_core: int = 512 * 1024,
+    assoc: int = 4,
+    line_bytes: int = 64,
+    n_cores: int = 8,
+) -> CoherenceStats:
+    """Per-access reference simulation — the oracle for the batch engine."""
     caches = [_PrivateCache(cache_bytes_per_core, assoc, line_bytes)
               for _ in range(n_cores)]
     seen_lines: Set[int] = set()

@@ -90,7 +90,12 @@ def analyze_sharing(
     write_shared = int(np.isin(written_lines, shared_line_set).sum())
 
     # Producer-consumer reads: read of a line last written by another tid.
-    consumer_reads = _count_consumer_reads(lines, tids, writes)
+    if addrs.size >= 256:
+        from repro.analytics.sharing import count_consumer_reads_batch
+
+        consumer_reads = count_consumer_reads_batch(lines, tids, writes)
+    else:
+        consumer_reads = _count_consumer_reads(lines, tids, writes)
 
     return SharingStats(
         total_lines=int(uniq_lines.size),
@@ -106,7 +111,11 @@ def analyze_sharing(
 def _count_consumer_reads(
     lines: np.ndarray, tids: np.ndarray, writes: np.ndarray
 ) -> int:
-    """Reads whose line's most recent writer is a different thread."""
+    """Reads whose line's most recent writer is a different thread.
+
+    Scalar oracle for
+    :func:`repro.analytics.sharing.count_consumer_reads_batch`.
+    """
     last_writer: Dict[int, int] = {}
     count = 0
     seq_l = lines.tolist()
@@ -164,7 +173,38 @@ def sharing_at_size(
     thread has touched it since the line was installed.  A lifetime
     (install → evict, or install → end of trace) is shared when more
     than one thread touched the line during it.
+
+    Long traces over many sets run on the batch way-matrix engine;
+    :func:`sharing_at_size_scalar` is the per-access oracle.
     """
+    n_sets = max(1, (size_bytes // line_bytes) // assoc)
+    if addrs.size >= 4096:
+        from repro.analytics.sharing import sharing_at_size_batch
+
+        lines = (addrs // line_bytes).astype(np.int64)
+        result = sharing_at_size_batch(
+            lines, tids.astype(np.int64), n_sets, assoc
+        )
+        if result is not None:
+            shared_accesses, lifetimes, shared_lifetimes = result
+            return SizeSharing(
+                size_bytes=size_bytes,
+                total_accesses=int(addrs.size),
+                shared_accesses=shared_accesses,
+                lifetimes=lifetimes,
+                shared_lifetimes=shared_lifetimes,
+            )
+    return sharing_at_size_scalar(addrs, tids, size_bytes, assoc, line_bytes)
+
+
+def sharing_at_size_scalar(
+    addrs: np.ndarray,
+    tids: np.ndarray,
+    size_bytes: int,
+    assoc: int = 4,
+    line_bytes: int = 64,
+) -> SizeSharing:
+    """Per-access reference walk — the oracle for the batch engine."""
     n_sets = max(1, (size_bytes // line_bytes) // assoc)
     sets: Dict[int, list] = {}          # set -> [line, ...] MRU last
     sharers: Dict[int, set] = {}        # resident line -> tids this lifetime

@@ -2,7 +2,14 @@
 
 ``all`` runs the complete evaluation in paper order and prints every
 table; the per-process memoization in :mod:`repro.core.features` means
-the workload executions are shared across experiments.
+the workload executions are shared across experiments, and the on-disk
+artifact cache (:mod:`repro.core.artifacts`) shares them across *runs*.
+
+``--jobs N`` warms the artifact cache first by executing workloads in a
+process pool: functional executions are independent per workload, so
+they parallelize perfectly; the experiments themselves then run in the
+parent against the warm cache.  ``--no-cache`` disables artifact
+persistence for the run (equivalent to ``REPRO_CACHE=off``).
 """
 
 from __future__ import annotations
@@ -10,9 +17,34 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 
 from repro.common.config import SimScale
 from repro.experiments import ALL_EXPERIMENTS, get_driver
+
+
+def _warm_cache(scale: SimScale, jobs: int) -> None:
+    """Execute every suite workload across a process pool."""
+    from repro.core.features import suite_workloads, warm_workload
+
+    names = suite_workloads(dedupe_shared=False)
+    t0 = time.time()
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(warm_workload, name, scale.value): name
+            for name in names
+        }
+        for fut in as_completed(futures):
+            name, produced = fut.result()
+            print(
+                f"[warm] {name}: {'+'.join(produced) or 'nothing to run'}",
+                file=sys.stderr,
+            )
+    print(
+        f"[warm] {len(names)} workloads in {time.time() - t0:.1f}s "
+        f"({jobs} jobs)",
+        file=sys.stderr,
+    )
 
 
 def main(argv=None) -> int:
@@ -28,8 +60,26 @@ def main(argv=None) -> int:
         "--scale", default="small", choices=[s.value for s in SimScale],
         help="problem-size operating point (default: small)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="warm the artifact cache with N parallel workload "
+             "executions before running experiments (default: 1, no "
+             "warm-up pass)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent artifact cache for this run",
+    )
     args = parser.parse_args(argv)
     scale = SimScale(args.scale)
+    if args.no_cache:
+        from repro.core.artifacts import set_artifact_cache
+
+        set_artifact_cache(None)
+    if args.jobs > 1:
+        if args.no_cache:
+            parser.error("--jobs needs the artifact cache; drop --no-cache")
+        _warm_cache(scale, args.jobs)
     ids = list(ALL_EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     for exp_id in ids:
         t0 = time.time()

@@ -173,12 +173,54 @@ class CacheModel:
         return False
 
     def access(self, addrs: np.ndarray) -> np.ndarray:
-        """Access a sequence of addresses in order; returns hit mask."""
+        """Access a sequence of addresses in order; returns hit mask.
+
+        Long traces into an empty cache run on the batch way-matrix
+        engine (with full state write-back, so mixing with per-access
+        calls stays exact); ``access_one`` is the scalar oracle.
+        """
+        if addrs.size >= 4096 and not self._sets:
+            hits = self._access_batch(np.asarray(addrs))
+            if hits is not None:
+                return hits
         out = np.empty(addrs.size, dtype=bool)
         one = self.access_one
         for i, a in enumerate(addrs.tolist()):
             out[i] = one(a)
         return out
+
+    def _access_batch(self, addrs: np.ndarray) -> Optional[np.ndarray]:
+        from repro.analytics.cache import (
+            batch_worthwhile,
+            partition_by_set,
+            simulate_lru_sets,
+        )
+
+        lines = (addrs.astype(np.int64)) // self.line_bytes
+        if self.hash_sets:
+            set_idx = (lines ^ (lines >> 10) ^ (lines >> 5)) % self.n_sets
+        else:
+            set_idx = lines % self.n_sets
+        part = partition_by_set(set_idx)
+        if not batch_worthwhile(lines.size, part.counts):
+            return None
+        res = simulate_lru_sets(
+            lines[part.order], part.starts, part.counts, self.assoc,
+            need_hits=True,
+        )
+        n_miss = int(res.miss_per_group.sum())
+        self.misses += n_miss
+        self.hits += int(lines.size) - n_miss
+        for g in range(part.n_groups):
+            length = int(res.lengths[g])
+            if length:
+                # Way rows are MRU-first; the scalar lists are MRU-last.
+                self._sets[int(part.set_ids[g])] = [
+                    int(line) for line in res.ways[g, :length][::-1]
+                ]
+        hits = np.empty(lines.size, dtype=bool)
+        hits[part.order] = res.hits_sorted
+        return hits
 
     @property
     def accesses(self) -> int:

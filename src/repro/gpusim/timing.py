@@ -176,11 +176,14 @@ class TimingModel:
                 CacheModel(cfg.l1_size, cfg.l1_assoc, TRANSACTION_BYTES)
                 for _ in range(max(1, effective_sms))
             ]
+            # Each SM's L1 sees an independent stream; boolean masking
+            # keeps per-SM time order, so one vectorizable access() call
+            # per SM replaces the per-transaction loop.
             hit_mask = np.empty(total, dtype=bool)
-            addr_list = addrs.tolist()
-            sm_list = sms.tolist()
-            for i in range(total):
-                hit_mask[i] = l1s[sm_list[i]].access_one(addr_list[i])
+            for sm, l1 in enumerate(l1s):
+                mask = sms == sm
+                if mask.any():
+                    hit_mask[mask] = l1.access(addrs[mask])
             l1_hits = int(hit_mask.sum())
             survivors = addrs[~hit_mask]
         l2_hits = 0

@@ -1,0 +1,20 @@
+"""Shared test fixtures.
+
+The artifact cache (:mod:`repro.core.artifacts`) defaults to
+``.repro_cache`` under the current directory; during the test session it
+is redirected to a throwaway temporary directory so tests exercise the
+persistence code without polluting the working tree or leaking state
+between test runs.
+"""
+
+import pytest
+
+from repro.core import artifacts
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_artifact_cache(tmp_path_factory):
+    root = tmp_path_factory.mktemp("repro_cache")
+    artifacts.set_artifact_cache(artifacts.ArtifactCache(root))
+    yield
+    artifacts.set_artifact_cache(None, clear=True)

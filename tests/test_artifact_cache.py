@@ -1,0 +1,169 @@
+"""Persistent artifact cache: round-trips, key invalidation, execution skip."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.common.config import SimScale
+from repro.core import artifacts, features
+from repro.core.artifacts import ArtifactCache, artifact_key
+from repro.cpusim.metrics import CPUMetrics
+from repro.cpusim.sharing import SharingStats
+
+
+def _sample_metrics() -> CPUMetrics:
+    return CPUMetrics(
+        name="demo",
+        inst_mix={"int": 0.5, "fp": 0.25, "branch": 0.25},
+        total_insts=1000,
+        mem_refs=300,
+        miss_curve={131072: 0.5, 262144: 0.25},
+        miss_rate_4mb=0.125,
+        sharing=SharingStats(10, 4, 300, 120, 2, 30, 1.5),
+        data_footprint_4kb=16,
+        code_footprint_64b=9,
+    )
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache")
+
+
+def test_cpu_metrics_round_trip(cache):
+    metrics = _sample_metrics()
+    cache.put_cpu("demo", SimScale.TINY, "abc123", metrics)
+    loaded = cache.get_cpu("demo", SimScale.TINY, "abc123")
+    assert loaded is not None
+    assert dataclasses.asdict(loaded) == dataclasses.asdict(metrics)
+    # Dict keys survive the JSON round-trip as ints.
+    assert all(isinstance(k, int) for k in loaded.miss_curve)
+    assert loaded.all_features() == metrics.all_features()
+
+
+def test_missing_and_corrupt_entries_miss(cache, tmp_path):
+    assert cache.get_cpu("demo", SimScale.TINY, "nothere") is None
+    path = cache._path("cpu", "demo", SimScale.TINY, "bad", ".json")
+    cache.root.mkdir(parents=True, exist_ok=True)
+    path.write_text("{not json", encoding="utf-8")
+    assert cache.get_cpu("demo", SimScale.TINY, "bad") is None
+    assert cache.get_gpu("demo", SimScale.TINY, "nothere") is None
+
+
+def test_gpu_trace_round_trip(cache):
+    trace = features.gpu_trace_for("nw", SimScale.TINY)
+    cache.put_gpu("nw", SimScale.TINY, "k1", trace)
+    loaded = cache.get_gpu("nw", SimScale.TINY, "k1")
+    assert loaded is not None
+    assert loaded.app_name == trace.app_name
+    assert len(loaded.launches) == len(trace.launches)
+    for a, b in zip(loaded.launches, trace.launches):
+        assert a.kernel_name == b.kernel_name
+        ta, tb = a.transactions(), b.transactions()
+        assert all(np.array_equal(x, y) for x, y in zip(ta, tb))
+
+
+def test_key_changes_with_config_and_source():
+    base = artifact_key("cpu", "bfs", SimScale.TINY, "src-v1", {"line": 64})
+    assert base == artifact_key(
+        "cpu", "bfs", SimScale.TINY, "src-v1", {"line": 64}
+    )
+    # Any ingredient change must produce a different key.
+    assert base != artifact_key("cpu", "bfs", SimScale.TINY, "src-v2", {"line": 64})
+    assert base != artifact_key("cpu", "bfs", SimScale.TINY, "src-v1", {"line": 128})
+    assert base != artifact_key("cpu", "bfs", SimScale.SMALL, "src-v1", {"line": 64})
+    assert base != artifact_key("gpu", "bfs", SimScale.TINY, "src-v1", {"line": 64})
+    assert base != artifact_key("cpu", "nw", SimScale.TINY, "src-v1", {"line": 64})
+
+
+def test_stale_entry_not_matched_after_config_change(cache):
+    """A cached artifact under an old config hash is simply never hit."""
+    metrics = _sample_metrics()
+    key_old = artifact_key("cpu", "demo", SimScale.TINY, "src", {"quantum": 100})
+    cache.put_cpu("demo", SimScale.TINY, key_old, metrics)
+    key_new = artifact_key("cpu", "demo", SimScale.TINY, "src", {"quantum": 200})
+    assert cache.get_cpu("demo", SimScale.TINY, key_new) is None
+    assert cache.get_cpu("demo", SimScale.TINY, key_old) is not None
+
+
+def test_warm_cache_skips_execution(tmp_path):
+    """Second run of a workload comes entirely from disk: zero executions."""
+    prev = artifacts.get_artifact_cache()
+    artifacts.set_artifact_cache(ArtifactCache(tmp_path / "warm"))
+    try:
+        features.clear_caches()
+        features.EXECUTIONS.clear()
+        m1 = features.cpu_metrics_for("nw", SimScale.TINY)
+        t1 = features.gpu_trace_for("nw", SimScale.TINY)
+        assert ("cpu", "nw", "tiny") in features.EXECUTIONS
+        assert ("gpu", "nw", "tiny") in features.EXECUTIONS
+
+        # New process simulated by dropping the in-memory memo.
+        features.clear_caches()
+        features.EXECUTIONS.clear()
+        m2 = features.cpu_metrics_for("nw", SimScale.TINY)
+        t2 = features.gpu_trace_for("nw", SimScale.TINY)
+        assert features.EXECUTIONS == []
+        assert m2.all_features() == m1.all_features()
+        assert t2.thread_insts == t1.thread_insts
+    finally:
+        artifacts.set_artifact_cache(prev)
+        features.clear_caches()
+
+
+def test_disabled_cache_always_executes(tmp_path):
+    prev = artifacts.get_artifact_cache()
+    artifacts.set_artifact_cache(None)  # force off
+    try:
+        features.clear_caches()
+        features.EXECUTIONS.clear()
+        features.cpu_metrics_for("nw", SimScale.TINY)
+        features.clear_caches()
+        features.cpu_metrics_for("nw", SimScale.TINY)
+        assert features.EXECUTIONS.count(("cpu", "nw", "tiny")) == 2
+    finally:
+        artifacts.set_artifact_cache(prev)
+        features.clear_caches()
+
+
+def test_env_disable(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "off")
+    assert artifacts.default_cache() is None
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
+    c = artifacts.default_cache()
+    assert c is not None and str(c.root) == "/tmp/somewhere"
+
+
+def test_runner_warm_cache_skips_executions(capsys):
+    """A runner invocation against a warm cache executes no workloads."""
+    from repro.experiments import runner
+
+    features.clear_caches()
+    runner.main(["fig1", "--scale", "tiny"])  # fills the artifact cache
+
+    # Fresh process simulated by dropping the in-memory memo.
+    features.clear_caches()
+    features.EXECUTIONS.clear()
+    runner.main(["fig1", "--scale", "tiny"])
+    capsys.readouterr()
+    assert features.EXECUTIONS == []
+
+
+def test_runner_no_cache_flag(tmp_path, capsys):
+    """--no-cache turns persistence off for the run."""
+    from repro.experiments import runner
+
+    prev = artifacts.get_artifact_cache()
+    artifacts.set_artifact_cache(ArtifactCache(tmp_path / "r"))
+    try:
+        features.clear_caches()
+        features.EXECUTIONS.clear()
+        runner.main(["table1", "--scale", "tiny", "--no-cache"])
+        capsys.readouterr()
+        assert artifacts.get_artifact_cache() is None
+        assert not (tmp_path / "r").exists()
+    finally:
+        artifacts.set_artifact_cache(prev)
+        features.clear_caches()
