@@ -132,16 +132,26 @@ def simulate_lru_sets(
     counts: np.ndarray,
     assoc: int,
     need_hits: bool = False,
+    init_ways: Optional[np.ndarray] = None,
+    init_lengths: Optional[np.ndarray] = None,
 ) -> LRUSetsResult:
     """Advance every set one access per round through a way matrix.
 
     ``sorted_lines`` is the trace in grouped (sorted-by-set) layout;
     ``starts``/``counts`` delimit the groups.  Exactly reproduces a
     per-set LRU list with MRU appended last and eviction from the front.
+
+    ``init_ways``/``init_lengths`` (aligned to the groups, MRU-first)
+    seed a *warm* cache: the simulation continues from that state
+    exactly as the scalar simulator would.
     """
     G = starts.size
-    W = np.full((G, assoc), EMPTY_LINE, dtype=np.int64)
-    lengths = np.zeros(G, dtype=np.int64)
+    if init_ways is not None:
+        W = np.array(init_ways, dtype=np.int64, copy=True)
+        lengths = np.array(init_lengths, dtype=np.int64, copy=True)
+    else:
+        W = np.full((G, assoc), EMPTY_LINE, dtype=np.int64)
+        lengths = np.zeros(G, dtype=np.int64)
     miss_pg = np.zeros(G, dtype=np.int64)
     hits_sorted = (
         np.empty(sorted_lines.size, dtype=bool) if need_hits else None
@@ -149,6 +159,10 @@ def simulate_lru_sets(
     if G == 0:
         return LRUSetsResult(miss_pg, W, lengths, hits_sorted)
     desc = np.argsort(-counts, kind="stable")
+    # The round loop runs in length-descending layout (unpermuted on
+    # return); bring any warm initial state into that layout too.
+    W = W[desc]
+    lengths = lengths[desc]
     dstarts = starts[desc]
     neg_counts = -counts[desc]
     maxlen = int(counts[desc[0]])

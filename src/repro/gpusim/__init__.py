@@ -10,10 +10,11 @@ bank conflicts).  A trace is timing-independent: the analytic
 configurations used for the paper's GTX480 study.
 """
 
+from repro.gpusim.batch import BatchBlockCtx
 from repro.gpusim.config import GPUConfig
 from repro.gpusim.divergence import DivergenceStats, analyze_divergence
 from repro.gpusim.dsl import BlockCtx
-from repro.gpusim.gpu import GPU
+from repro.gpusim.gpu import BLOCK_BATCHES, GPU, batch_enabled
 from repro.gpusim.isa import Space
 from repro.gpusim.memory import DeviceArray
 from repro.gpusim.timing import ConcurrentTiming, TimingModel, TimingResult
@@ -24,6 +25,9 @@ __all__ = [
     "GPU",
     "GPUConfig",
     "BlockCtx",
+    "BatchBlockCtx",
+    "BLOCK_BATCHES",
+    "batch_enabled",
     "Space",
     "DeviceArray",
     "TimingModel",

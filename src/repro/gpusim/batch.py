@@ -1,0 +1,554 @@
+"""Block-batched SIMT execution engine.
+
+The scalar engine in :mod:`repro.gpusim.gpu` runs a kernel once per
+thread block, which costs thousands of Python round-trips for large
+grids.  This module executes ``B`` blocks per kernel invocation as
+``(B, T)`` lane matrices: divergence masks, loads/stores, and the warp
+accounting (coalescing, bank conflicts, const/tex filtering) all operate
+on the whole ``(B * n_warps, 32)`` address matrix in a few numpy passes.
+
+Bit-identical traces are guaranteed by *deferring* every order-sensitive
+side effect into a per-launch buffer and committing it in sequential
+block order at launch end:
+
+- Transaction streams are tagged ``(block, instruction seq)`` during the
+  batch and reordered with one stable ``lexsort`` into the exact stream
+  the per-block loop records.
+- Texture/constant cache accesses are replayed through the (stateful)
+  caches in the same sequential-block order, on the batch LRU engine of
+  :mod:`repro.analytics.cache`; hit/miss accounting and the resulting
+  miss transactions are therefore bit-identical to the scalar oracle.
+- Scalar aggregate counters (occupancy histogram, per-category warp
+  instructions, replays, serializations) commute and are accumulated
+  directly.
+
+Kernels whose *host-side* control flow depends on per-block scalars
+(heartwall's per-block task switch, LUD's perimeter row/column split)
+raise when those scalars arrive as ``(B, 1)`` arrays; the launch runner
+catches the error, restores device memory from copy-on-first-write
+backups, and re-runs the launch on the scalar oracle.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.gpusim.dsl import BlockCtx
+from repro.gpusim.isa import (
+    BANK_WORD_BYTES,
+    SHARED_BANKS,
+    TRANSACTION_BYTES,
+    Category,
+    Space,
+)
+from repro.gpusim.memory import DeviceArray
+from repro.gpusim.trace import LaunchTrace
+
+#: Address-matrix slot holding no (inactive) lane.  Real addresses are
+#: far below this, so sentinel-derived quotients can never collide.
+_SENTINEL = np.int64(np.iinfo(np.int64).max)
+
+#: Default lane budget per batch step; grids larger than this are run in
+#: sequential chunks of whole blocks (preserving the block order the
+#: trace commit relies on).
+_DEFAULT_BATCH_LANES = 1 << 18
+
+
+def batch_lanes() -> int:
+    """Lane budget per batch step (``REPRO_GPU_BATCH_LANES``)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_GPU_BATCH_LANES", "")))
+    except ValueError:
+        return _DEFAULT_BATCH_LANES
+
+
+def _row_unique(amat: np.ndarray, divisor: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted unique quotients per row of a sentinel-padded matrix.
+
+    Returns the row-major concatenation of each row's sorted unique
+    ``value // divisor`` (exactly ``np.unique`` per row, skipping
+    sentinel slots) and the per-row unique counts.
+    """
+    q = np.where(amat == _SENTINEL, _SENTINEL, amat // divisor)
+    s = np.sort(q, axis=1)
+    first = s != _SENTINEL
+    first[:, 1:] &= s[:, 1:] != s[:, :-1]
+    return s[first], first.sum(axis=1)
+
+
+def _bank_replays(amat: np.ndarray) -> int:
+    """Total shared-memory replay count over the (R, 32) address rows.
+
+    Per row: distinct bank-word addresses are binned by bank; the access
+    replays ``degree`` times where ``degree`` is the largest bin, so each
+    row contributes ``degree - 1`` replays (broadcasts do not conflict).
+    """
+    words, counts = _row_unique(amat, BANK_WORD_BYTES)
+    if words.size == 0:
+        return 0
+    rows = np.repeat(np.arange(counts.size), counts)
+    keys = rows * SHARED_BANKS + words % SHARED_BANKS
+    degree = (
+        np.bincount(keys, minlength=counts.size * SHARED_BANKS)
+        .reshape(counts.size, SHARED_BANKS)
+        .max(axis=1)
+    )
+    return int((degree - 1)[degree > 1].sum())
+
+
+class BatchSharedArray(DeviceArray):
+    """Per-block shared memory for a whole batch: data is ``(B,) + shape``.
+
+    ``base`` (and therefore all address accounting) is the per-block base
+    the scalar engine would produce; only the backing buffer is widened.
+    ``size`` reports the per-block element count so the DSL bounds check
+    validates per-block indices, exactly as the scalar path does.
+    """
+
+    def __init__(self, data: np.ndarray, base: int, name: str, block_size: int):
+        super().__init__(data, base, Space.SHARED, name)
+        self.block_size = block_size
+
+    @property
+    def size(self) -> int:  # per-block bounds, not the batched buffer's
+        return self.block_size
+
+
+class LaunchBuffer:
+    """Deferred accounting of one batched launch.
+
+    Everything the DSL would record on the :class:`LaunchTrace` (and the
+    tex/const caches) is staged here and applied by :meth:`commit` in
+    sequential block order — which also makes a mid-launch fallback to
+    the scalar engine side-effect free.
+    """
+
+    def __init__(self):
+        self.issued_warp_insts = 0
+        self.thread_insts = 0
+        self.category_warp_insts: Dict[Category, int] = {c: 0 for c in Category}
+        self.mem_warp_insts: Dict[Space, int] = {s: 0 for s in Space}
+        self.occupancy_hist = np.zeros(32, dtype=np.int64)
+        self.shared_replays = 0
+        self.const_serializations = 0
+        self.const_accesses = 0
+        self.tex_accesses = 0
+        self.shared_bytes_per_block = 0
+        # (seq, addrs, blocks, is_store) for global/local instructions;
+        # (seq, addrs, blocks) cache-filtered accesses for const/tex.
+        self._mem_events: List[Tuple[int, np.ndarray, np.ndarray, bool]] = []
+        self._cache_events: Dict[str, List[Tuple[int, np.ndarray, np.ndarray]]] = {
+            "const": [],
+            "tex": [],
+        }
+        self._seq = 0
+
+    # -- recording (called by BatchBlockCtx) ---------------------------
+    def charge_warps(
+        self, category: Category, active_per_warp: np.ndarray, repeat: int = 1
+    ) -> None:
+        live = active_per_warp[active_per_warp > 0]
+        if live.size == 0:
+            return
+        self.issued_warp_insts += int(live.size) * repeat
+        self.thread_insts += int(live.sum()) * repeat
+        self.category_warp_insts[category] += int(live.size) * repeat
+        np.add.at(self.occupancy_hist, live - 1, repeat)
+
+    def charge_mem_space(self, space: Space, n_warps: int) -> None:
+        self.mem_warp_insts[space] += n_warps
+
+    def add_mem_event(
+        self, addrs: np.ndarray, blocks: np.ndarray, is_store: bool
+    ) -> None:
+        self._seq += 1
+        if addrs.size:
+            self._mem_events.append((self._seq, addrs, blocks, is_store))
+
+    def add_cache_event(
+        self, kind: str, addrs: np.ndarray, blocks: np.ndarray
+    ) -> None:
+        self._seq += 1
+        if addrs.size:
+            self._cache_events[kind].append((self._seq, addrs, blocks))
+
+    # -- commit --------------------------------------------------------
+    def _replay_cache(self, kind: str, cache) -> Tuple[np.ndarray, ...]:
+        """Replay one cache's accesses in (block, seq) order; misses out."""
+        events = self._cache_events[kind]
+        if not events:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.astype(np.int32), empty, 0
+        addrs = np.concatenate([e[1] for e in events])
+        blocks = np.concatenate([e[2] for e in events])
+        seqs = np.repeat(
+            np.array([e[0] for e in events], dtype=np.int64),
+            np.array([e[1].size for e in events], dtype=np.int64),
+        )
+        # Events were appended in seq order, so one stable sort by block
+        # yields the scalar engine's sequential-block access order.
+        order = np.argsort(blocks, kind="stable")
+        addrs, blocks, seqs = addrs[order], blocks[order], seqs[order]
+        hits = cache.access(addrs)
+        miss = ~hits
+        return addrs[miss], blocks[miss], seqs[miss], int(miss.sum())
+
+    def commit(self, launch: LaunchTrace, tex_cache, const_cache) -> None:
+        const_miss = self._replay_cache("const", const_cache)
+        tex_miss = self._replay_cache("tex", tex_cache)
+
+        launch.issued_warp_insts += self.issued_warp_insts
+        launch.thread_insts += self.thread_insts
+        for cat, n in self.category_warp_insts.items():
+            launch.category_warp_insts[cat] += n
+        for space, n in self.mem_warp_insts.items():
+            launch.mem_warp_insts[space] += n
+        launch.occupancy_hist += self.occupancy_hist
+        launch.shared_replays += self.shared_replays
+        launch.const_serializations += self.const_serializations
+        launch.const_accesses += self.const_accesses
+        launch.const_hits += self.const_accesses - const_miss[3]
+        launch.tex_accesses += self.tex_accesses
+        launch.tex_hits += self.tex_accesses - tex_miss[3]
+        launch.shared_bytes_per_block = max(
+            launch.shared_bytes_per_block, self.shared_bytes_per_block
+        )
+        launch._version += 1
+
+        # Assemble the off-chip transaction stream: global/local
+        # transactions plus const/tex misses, merged into per-block
+        # program order by one stable (block, seq) sort.
+        addr_parts = [e[1] for e in self._mem_events]
+        block_parts = [e[2] for e in self._mem_events]
+        seq_parts = [
+            np.full(e[1].size, e[0], dtype=np.int64) for e in self._mem_events
+        ]
+        store_parts = [
+            np.full(e[1].size, e[3], dtype=bool) for e in self._mem_events
+        ]
+        for miss in (const_miss, tex_miss):
+            if miss[0].size:
+                addr_parts.append(miss[0])
+                block_parts.append(miss[1])
+                seq_parts.append(miss[2])
+                store_parts.append(np.zeros(miss[0].size, dtype=bool))
+        if not addr_parts:
+            return
+        addrs = np.concatenate(addr_parts)
+        blocks = np.concatenate(block_parts)
+        seqs = np.concatenate(seq_parts)
+        stores = np.concatenate(store_parts)
+        order = np.lexsort((seqs, blocks))
+        launch.record_transaction_stream(
+            addrs[order], blocks[order], stores[order]
+        )
+
+
+class BatchBlockCtx(BlockCtx):
+    """Execution context of ``B`` thread blocks in lockstep.
+
+    Lane values are ``(B, T)`` matrices; per-block scalars (``bidx``,
+    ``bx``, ``by``) are ``(B, 1)`` columns so ordinary lane arithmetic
+    broadcasts.  Control flow, masking, and value helpers are inherited
+    from :class:`BlockCtx` — they are shape-generic — while accounting
+    and memory access are overridden with whole-batch vectorizations
+    that stage their effects on a :class:`LaunchBuffer`.
+    """
+
+    def __init__(
+        self,
+        gpu: "repro.gpusim.gpu.GPU",
+        buf: LaunchBuffer,
+        backups: Dict[int, Tuple[DeviceArray, np.ndarray]],
+        block_lo: int,
+        n_batch: int,
+        grid: tuple,
+        block: tuple,
+    ):
+        self._gpu = gpu
+        self._buf = buf
+        self._backups = backups
+        self._grid = grid
+        self._block = block
+        self.nthreads = block[0] * block[1]
+        self.batch = n_batch
+        bcol = (block_lo + np.arange(n_batch))[:, None]
+        self.bidx = bcol
+        self.bx = bcol % grid[0]
+        self.by = bcol // grid[0]
+        self.tidx = np.arange(self.nthreads)
+        self.tx = self.tidx % block[0]
+        self.ty = self.tidx // block[0]
+        self.gtid = bcol * self.nthreads + self.tidx
+        self.mask = np.ones((n_batch, self.nthreads), dtype=bool)
+        self._n_warps = (self.nthreads + self.WARP - 1) // self.WARP
+        self._pad = self._n_warps * self.WARP - self.nthreads
+        self._shared_bytes = 0
+        # Per-block "still executing" flags: a block leaves a while_
+        # body when all its lanes go inactive (sync() charges full warps
+        # only for blocks still executing the surrounding code).
+        self._exec = np.ones(n_batch, dtype=bool)
+        self._warp_blocks = np.repeat(
+            bcol.ravel().astype(np.int32), self._n_warps
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _warp_actives(self, mask=None) -> np.ndarray:
+        m = self.mask if mask is None else mask
+        if m.shape != self.mask.shape:
+            m = np.broadcast_to(m, self.mask.shape)
+        if self._pad:
+            padded = np.zeros(
+                (self.batch, self._n_warps * self.WARP), dtype=bool
+            )
+            padded[:, : self.nthreads] = m
+            m = padded
+        return m.reshape(self.batch * self._n_warps, self.WARP).sum(axis=1)
+
+    def _charge(self, category: Category, repeat: int = 1) -> np.ndarray:
+        actives = self._warp_actives()
+        self._buf.charge_warps(category, actives, repeat)
+        return actives
+
+    def sync(self) -> None:
+        """__syncthreads() for every block still executing this code."""
+        full = np.broadcast_to(
+            self._exec[:, None], (self.batch, self.nthreads)
+        )
+        self._buf.charge_warps(Category.SYNC, self._warp_actives(full))
+
+    # ------------------------------------------------------------------
+    # Values / control flow
+    # ------------------------------------------------------------------
+    def const(self, value, dtype=None) -> np.ndarray:
+        """Broadcast scalars, lane vectors, or per-block columns to (B, T)."""
+        arr = np.asarray(value, dtype=dtype)
+        shape = (self.batch, self.nthreads)
+        if arr.ndim == 0:
+            return np.full(shape, arr)
+        if arr.shape in ((self.nthreads,), (1, self.nthreads),
+                         (self.batch, 1), shape):
+            return np.broadcast_to(arr, shape)
+        raise ValueError(
+            f"lane value must broadcast to {shape}, got {arr.shape}"
+        )
+
+    def while_(self, cond_fn: Callable[[], np.ndarray]):
+        saved = self.mask.copy()
+        saved_exec = self._exec
+        active = saved.copy()
+        iteration = 0
+        try:
+            while True:
+                self._exec = active.any(axis=1)
+                self.mask = active
+                self.branch()
+                cond = np.asarray(cond_fn(), dtype=bool)
+                active = active & cond
+                if not active.any():
+                    break
+                self._exec = active.any(axis=1)
+                self.mask = active
+                yield iteration
+                active = active & self.mask  # lanes may self-mask
+                iteration += 1
+        finally:
+            self.mask = saved
+            self._exec = saved_exec
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def shared(self, shape, dtype=np.float32, name: str = "") -> BatchSharedArray:
+        block_shape = tuple(np.atleast_1d(np.array(shape, dtype=np.int64)))
+        block_size = int(np.prod(block_shape))
+        block_nbytes = block_size * np.dtype(dtype).itemsize
+        data = np.zeros((self.batch,) + block_shape, dtype=dtype)
+        base = self._gpu._allocator.alloc(block_nbytes, Space.SHARED)
+        arr = BatchSharedArray(
+            data, base, name or f"{Space.SHARED.value}@{base:#x}", block_size
+        )
+        self._shared_bytes += block_nbytes
+        self._buf.shared_bytes_per_block = max(
+            self._buf.shared_bytes_per_block, self._shared_bytes
+        )
+        return arr
+
+    def _reject_local_write(self, arr: DeviceArray) -> None:
+        """Writable per-block local scratch cannot batch.
+
+        LOCAL arrays are host-allocated once per launch and sized for a
+        single block's threads; the sequential engine lets every block
+        scribble over the same scratch, which is exactly the cross-block
+        dataflow batching forbids.  Raising here routes the kernel to the
+        scalar path (read-only LOCAL data would be safe, but no such
+        kernels exist and a write is the cheap, certain signal).
+        """
+        if arr.space == Space.LOCAL:
+            raise RuntimeError(
+                f"batched engine cannot write block-reused local scratch "
+                f"{arr.name}; kernel requires the scalar path"
+            )
+
+    def _backup(self, arr: DeviceArray) -> None:
+        """Copy-on-first-write backup for scalar-oracle fallback."""
+        if isinstance(arr, BatchSharedArray):
+            return  # fresh per launch, nothing to restore
+        key = id(arr)
+        if key not in self._backups:
+            self._backups[key] = (arr, arr.data.copy())
+
+    def _flat_index(self, arr: DeviceArray, act_idx: np.ndarray,
+                    active: np.ndarray) -> np.ndarray:
+        if isinstance(arr, BatchSharedArray):
+            rows = np.broadcast_to(
+                np.arange(self.batch)[:, None], active.shape
+            )[active]
+            return act_idx + rows * arr.block_size
+        return act_idx
+
+    def _account_mem(
+        self, arr: DeviceArray, idx: np.ndarray, active: np.ndarray,
+        is_store: bool
+    ) -> None:
+        """One memory instruction over the whole batch.
+
+        Mirrors the scalar engine: one address-generation ALU charge, one
+        MEM charge, then per-warp coalescing / conflict / cache handling
+        — here as a handful of numpy passes over the ``(R, 32)`` matrix
+        of live-warp addresses.
+        """
+        self._charge(Category.ALU)
+        actives = self._charge(Category.MEM)
+        live = actives > 0
+        self._buf.charge_mem_space(arr.space, int(live.sum()))
+        space = arr.space
+        if space == Space.PARAM or not live.any():
+            return
+        addrs = arr.base + idx * arr.itemsize
+        if self._pad:
+            amat = np.full(
+                (self.batch, self._n_warps * self.WARP), _SENTINEL
+            )
+            amat[:, : self.nthreads] = np.where(active, addrs, _SENTINEL)
+        else:
+            amat = np.where(active, addrs, _SENTINEL)
+        amat = amat.reshape(self.batch * self._n_warps, self.WARP)[live]
+        blocks = self._warp_blocks[live]
+        if space in (Space.GLOBAL, Space.LOCAL):
+            segs, counts = _row_unique(amat, TRANSACTION_BYTES)
+            self._buf.add_mem_event(
+                segs * TRANSACTION_BYTES, np.repeat(blocks, counts), is_store
+            )
+        elif space == Space.SHARED:
+            self._buf.shared_replays += _bank_replays(amat)
+        elif space == Space.CONST:
+            lines, counts = _row_unique(amat, 64)
+            self._buf.const_accesses += int(actives.sum())
+            self._buf.const_serializations += int((counts - 1).sum())
+            self._buf.add_cache_event(
+                "const", lines * 64, np.repeat(blocks, counts)
+            )
+        elif space == Space.TEX:
+            segs, counts = _row_unique(amat, TRANSACTION_BYTES)
+            self._buf.tex_accesses += int(actives.sum())
+            self._buf.add_cache_event(
+                "tex", segs * TRANSACTION_BYTES, np.repeat(blocks, counts)
+            )
+
+    def load(self, arr: DeviceArray, idx) -> np.ndarray:
+        if not self.mask.any():
+            return np.zeros((self.batch, self.nthreads), dtype=arr.dtype)
+        idx, active, act_idx = self._active_addrs(arr, idx)
+        self._account_mem(arr, idx, active, is_store=False)
+        out = np.zeros((self.batch, self.nthreads), dtype=arr.dtype)
+        out[active] = arr.data.flat[self._flat_index(arr, act_idx, active)]
+        return out
+
+    def store(self, arr: DeviceArray, idx, values) -> None:
+        if not self.mask.any():
+            return
+        self._reject_local_write(arr)
+        idx, active, act_idx = self._active_addrs(arr, idx)
+        self._account_mem(arr, idx, active, is_store=True)
+        vals = self.const(values, dtype=arr.dtype)
+        self._backup(arr)
+        # Flat indices are block-major, and numpy fancy assignment
+        # applies in index order, so duplicate targets resolve exactly as
+        # the sequential-block loop does (last block wins).
+        arr.data.flat[self._flat_index(arr, act_idx, active)] = vals[active]
+
+    def atomic_add(self, arr: DeviceArray, idx, values) -> None:
+        if not self.mask.any():
+            return
+        self._reject_local_write(arr)
+        idx, active, act_idx = self._active_addrs(arr, idx)
+        self._account_mem(arr, idx, active, is_store=True)
+        vals = self.const(values, dtype=arr.dtype)
+        self._backup(arr)
+        np.add.at(
+            arr.data.reshape(-1),
+            self._flat_index(arr, act_idx, active),
+            vals[active],
+        )
+
+    # ------------------------------------------------------------------
+    # Common kernel idioms
+    # ------------------------------------------------------------------
+    def block_reduce_sum(self, values: np.ndarray, smem: DeviceArray):
+        """Tree reduction per block; returns a ``(B, 1)`` column of totals.
+
+        The column broadcasts through lane arithmetic and stores exactly
+        like the scalar engine's per-block host float; kernels that
+        instead *branch* on the total in Python raise on the ambiguous
+        array truth value, which triggers the scalar fallback.
+        """
+        self.store(smem, self.tidx, values)
+        stride = self.nthreads // 2
+        while stride >= 1:
+            self.sync()
+            with self.masked(self.tidx < stride):
+                a = self.load(smem, self.tidx)
+                b = self.load(smem, self.tidx + stride)
+                self.alu(1)
+                self.store(smem, self.tidx, a + b)
+            stride //= 2
+        return smem.data.reshape(self.batch, -1)[:, :1].astype(np.float64)
+
+
+class BatchLaunch:
+    """Runs one kernel launch on the batched engine with rollback."""
+
+    def __init__(self, gpu, launch: LaunchTrace, grid: tuple, block: tuple):
+        self._gpu = gpu
+        self._launch = launch
+        self._grid = grid
+        self._block = block
+        self._buf = LaunchBuffer()
+        self._backups: Dict[int, Tuple[DeviceArray, np.ndarray]] = {}
+
+    def run(self, kernel: Callable, args: tuple, n_blocks: int) -> None:
+        threads = self._block[0] * self._block[1]
+        step = max(1, batch_lanes() // threads)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            for lo in range(0, n_blocks, step):
+                self._gpu._allocator.reset(Space.SHARED)
+                ctx = BatchBlockCtx(
+                    self._gpu, self._buf, self._backups,
+                    lo, min(step, n_blocks - lo), self._grid, self._block,
+                )
+                kernel(ctx, *args)
+
+    def restore(self) -> None:
+        """Undo every device write of a failed batch attempt."""
+        for arr, copy in self._backups.values():
+            arr.data[...] = copy
+
+    def commit(self) -> None:
+        self._buf.commit(self._launch, self._gpu.tex_cache,
+                         self._gpu.const_cache)

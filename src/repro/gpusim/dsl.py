@@ -210,6 +210,11 @@ class BlockCtx:
         return arr
 
     def _active_addrs(self, arr: DeviceArray, idx: np.ndarray) -> tuple:
+        """Validated lane indices: (full idx, active mask, active indices).
+
+        Byte addresses are *not* computed here — accounting derives them
+        per 32-lane warp in :meth:`_warp_addr_chunks`.
+        """
         idx = self.const(idx, dtype=np.int64)
         active = self.mask
         act_idx = idx[active]
@@ -218,8 +223,7 @@ class BlockCtx:
             raise KernelFault(
                 f"lane index {bad} out of bounds for {arr.name} (size {arr.size})"
             )
-        addrs = arr.base + act_idx * arr.itemsize
-        return idx, active, act_idx, addrs
+        return idx, active, act_idx
 
     def _warp_addr_chunks(
         self, arr: DeviceArray, idx: np.ndarray, active: np.ndarray
@@ -276,7 +280,7 @@ class BlockCtx:
         """Per-lane gather from a device array (masked)."""
         if not self.mask.any():
             return np.zeros(self.nthreads, dtype=arr.dtype)
-        idx, active, act_idx, addrs = self._active_addrs(arr, idx)
+        idx, active, act_idx = self._active_addrs(arr, idx)
         self._account_mem(arr, idx, active, is_store=False)
         out = np.zeros(self.nthreads, dtype=arr.dtype)
         out[active] = arr.data.flat[act_idx]
@@ -286,7 +290,7 @@ class BlockCtx:
         """Per-lane scatter to a device array (masked)."""
         if not self.mask.any():
             return
-        idx, active, act_idx, addrs = self._active_addrs(arr, idx)
+        idx, active, act_idx = self._active_addrs(arr, idx)
         self._account_mem(arr, idx, active, is_store=True)
         vals = self.const(values, dtype=arr.dtype)
         arr.data.flat[act_idx] = vals[active]
@@ -295,7 +299,7 @@ class BlockCtx:
         """Atomic add (correct under duplicate lane indices)."""
         if not self.mask.any():
             return
-        idx, active, act_idx, addrs = self._active_addrs(arr, idx)
+        idx, active, act_idx = self._active_addrs(arr, idx)
         self._account_mem(arr, idx, active, is_store=True)
         vals = self.const(values, dtype=arr.dtype)
         np.add.at(arr.data.reshape(-1), act_idx, vals[active])

@@ -13,7 +13,8 @@ being accumulated.  Kernels are launched with CUDA-like geometry::
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple, Union
+import os
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -24,6 +25,22 @@ from repro.gpusim.memory import Allocator, CacheModel, DeviceArray
 from repro.gpusim.trace import KernelTrace
 
 Dim = Union[int, Tuple[int, int]]
+
+#: Probe for tests and benchmarks: one entry per launch routed through
+#: the block-batched engine — ``(kernel_name, "batched" | "fallback",
+#: n_blocks)``.  Mirrors ``repro.core.features.EXECUTIONS``.
+BLOCK_BATCHES: List[Tuple[str, str, int]] = []
+
+
+def batch_enabled() -> bool:
+    """Whether launches use the block-batched engine (``REPRO_GPU_BATCH``).
+
+    On by default; set ``REPRO_GPU_BATCH=off`` (or ``0``/``false``) to
+    force every launch onto the sequential per-block oracle.
+    """
+    return os.environ.get("REPRO_GPU_BATCH", "on").strip().lower() not in (
+        "off", "0", "false", "no",
+    )
 
 #: Functional texture/constant cache geometry.  Real GPUs have small
 #: per-SM read-only caches shared by that SM's resident CTAs; since our
@@ -52,6 +69,10 @@ class GPU:
         self.trace = KernelTrace(app_name)
         self.tex_cache = CacheModel(_TEX_CACHE_BYTES, assoc=4, hash_sets=True)
         self.const_cache = CacheModel(_CONST_CACHE_BYTES, assoc=4)
+        # Kernels whose host-side control flow needs per-block scalars;
+        # once a batch attempt fails the kernel goes straight to the
+        # scalar engine on later launches.
+        self._batch_fallbacks: set = set()
 
     # ------------------------------------------------------------------
     # Memory management
@@ -110,9 +131,13 @@ class GPU:
     ) -> None:
         """Launch ``kernel(ctx, *args)`` over the given geometry.
 
-        ``grid`` and ``block`` may be ints or 2-tuples.  Blocks execute
-        sequentially in lockstep (functionally safe for race-free
-        kernels); each block gets a fresh shared-memory arena.
+        ``grid`` and ``block`` may be ints or 2-tuples.  Semantically,
+        blocks execute sequentially in lockstep (functionally safe for
+        race-free kernels) with a fresh shared-memory arena each; by
+        default the block-batched engine (:mod:`repro.gpusim.batch`)
+        performs that execution many blocks at a time with bit-identical
+        traces, falling back to the per-block loop for kernels that need
+        per-block host scalars.
         """
         grid2 = _as_2d(grid)
         block2 = _as_2d(block)
@@ -126,6 +151,9 @@ class GPU:
             regs_per_thread,
         )
         n_blocks = grid2[0] * grid2[1]
+        if batch_enabled() and kernel not in self._batch_fallbacks:
+            if self._launch_batched(kernel, launch, grid2, block2, args, n_blocks):
+                return
         # Masked-off lanes legitimately compute garbage (e.g. x/0); the
         # DSL discards those values, so the warnings are suppressed.
         with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
@@ -133,6 +161,37 @@ class GPU:
                 self._allocator.reset(Space.SHARED)
                 ctx = BlockCtx(self, launch, bidx, grid2, block2)
                 kernel(ctx, *args)
+
+    def _launch_batched(
+        self,
+        kernel: Callable,
+        launch,
+        grid2: Tuple[int, int],
+        block2: Tuple[int, int],
+        args: tuple,
+        n_blocks: int,
+    ) -> bool:
+        """Try the block-batched engine; True on success.
+
+        On any failure — typically a kernel whose Python-level control
+        flow needs per-block scalars and trips over ``(B, 1)`` arrays —
+        device memory is restored from copy-on-first-write backups, the
+        untouched launch trace is handed back to the scalar loop, and the
+        kernel is remembered as scalar-only.
+        """
+        from repro.gpusim.batch import BatchLaunch
+
+        runner = BatchLaunch(self, launch, grid2, block2)
+        try:
+            runner.run(kernel, args, n_blocks)
+        except Exception:
+            runner.restore()
+            self._batch_fallbacks.add(kernel)
+            BLOCK_BATCHES.append((launch.kernel_name, "fallback", n_blocks))
+            return False
+        runner.commit()
+        BLOCK_BATCHES.append((launch.kernel_name, "batched", n_blocks))
+        return True
 
     def reset_trace(self, app_name: str = "") -> KernelTrace:
         """Return the accumulated trace and start a fresh one."""

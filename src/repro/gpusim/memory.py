@@ -175,11 +175,12 @@ class CacheModel:
     def access(self, addrs: np.ndarray) -> np.ndarray:
         """Access a sequence of addresses in order; returns hit mask.
 
-        Long traces into an empty cache run on the batch way-matrix
-        engine (with full state write-back, so mixing with per-access
-        calls stays exact); ``access_one`` is the scalar oracle.
+        Long traces run on the batch way-matrix engine — warm caches
+        seed the engine's initial state, and the final state is written
+        back in full, so mixing batch and per-access calls stays exact.
+        ``access_one`` is the scalar oracle.
         """
-        if addrs.size >= 4096 and not self._sets:
+        if addrs.size >= 4096:
             hits = self._access_batch(np.asarray(addrs))
             if hits is not None:
                 return hits
@@ -191,6 +192,7 @@ class CacheModel:
 
     def _access_batch(self, addrs: np.ndarray) -> Optional[np.ndarray]:
         from repro.analytics.cache import (
+            EMPTY_LINE,
             batch_worthwhile,
             partition_by_set,
             simulate_lru_sets,
@@ -204,9 +206,24 @@ class CacheModel:
         part = partition_by_set(set_idx)
         if not batch_worthwhile(lines.size, part.counts):
             return None
+        init_ways = None
+        init_lengths = None
+        if self._sets:
+            # Seed the way matrix with the warm per-set LRU lists
+            # (scalar lists are MRU-last; way rows are MRU-first).
+            init_ways = np.full(
+                (part.n_groups, self.assoc), EMPTY_LINE, dtype=np.int64
+            )
+            init_lengths = np.zeros(part.n_groups, dtype=np.int64)
+            for g, sid in enumerate(part.set_ids.tolist()):
+                tags = self._sets.get(sid)
+                if tags:
+                    init_ways[g, : len(tags)] = tags[::-1]
+                    init_lengths[g] = len(tags)
         res = simulate_lru_sets(
             lines[part.order], part.starts, part.counts, self.assoc,
             need_hits=True,
+            init_ways=init_ways, init_lengths=init_lengths,
         )
         n_miss = int(res.miss_per_group.sum())
         self.misses += n_miss

@@ -42,6 +42,10 @@ class LaunchTrace:
         self.shared_replays = 0
         self.const_serializations = 0
 
+        # Bumped on every recording call; lets the owning KernelTrace
+        # invalidate its memoized aggregates without a back-reference.
+        self._version = 0
+
         # Off-chip transaction streams (global/local/texture-miss), kept as
         # chunked arrays and concatenated lazily.
         self._tx_addr_chunks: List[np.ndarray] = []
@@ -70,6 +74,7 @@ class LaunchTrace:
         live = active_per_warp[active_per_warp > 0]
         if live.size == 0:
             return
+        self._version += 1
         n_warps = int(live.size) * repeat
         n_threads = int(live.sum()) * repeat
         self.issued_warp_insts += n_warps
@@ -78,6 +83,7 @@ class LaunchTrace:
         np.add.at(self.occupancy_hist, live - 1, repeat)
 
     def charge_mem_space(self, space: Space, n_warps: int) -> None:
+        self._version += 1
         self.mem_warp_insts[space] += n_warps
 
     def record_transactions(
@@ -85,6 +91,7 @@ class LaunchTrace:
     ) -> None:
         if addrs.size == 0:
             return
+        self._version += 1
         self._tx_final = None
         self._tx_addr_chunks.append(np.asarray(addrs, dtype=np.int64))
         self._tx_block_chunks.append(
@@ -93,6 +100,23 @@ class LaunchTrace:
         self._tx_store_chunks.append(
             np.full(addrs.size, is_store, dtype=bool)
         )
+
+    def record_transaction_stream(
+        self, addrs: np.ndarray, blocks: np.ndarray, stores: np.ndarray
+    ) -> None:
+        """Append a pre-assembled (addr, block, store) transaction stream.
+
+        Used by the batched execution engine, which reorders its per-batch
+        events into sequential-block order before flushing; the resulting
+        concatenated stream is bit-identical to per-warp recording.
+        """
+        if addrs.size == 0:
+            return
+        self._version += 1
+        self._tx_final = None
+        self._tx_addr_chunks.append(np.asarray(addrs, dtype=np.int64))
+        self._tx_block_chunks.append(np.asarray(blocks, dtype=np.int32))
+        self._tx_store_chunks.append(np.asarray(stores, dtype=bool))
 
     # ------------------------------------------------------------------
     # Derived views
@@ -137,36 +161,63 @@ class LaunchTrace:
 
 
 class KernelTrace:
-    """All launches of one application run, with aggregate views."""
+    """All launches of one application run, with aggregate views.
+
+    Aggregate properties reduce over every launch; timing and the
+    experiments access them repeatedly, so the reductions are memoized
+    and invalidated whenever a launch is added or any launch records new
+    data (tracked through each launch's ``_version`` counter).
+    """
 
     def __init__(self, app_name: str = ""):
         self.app_name = app_name
         self.launches: List[LaunchTrace] = []
+        self._agg_cache: Dict[str, object] = {}
+        self._agg_token: Tuple[int, int] = (0, 0)
 
     def new_launch(self, *args, **kwargs) -> LaunchTrace:
+        self._agg_cache.clear()
         lt = LaunchTrace(*args, **kwargs)
         self.launches.append(lt)
         return lt
 
+    def _cached(self, key: str, compute):
+        token = (len(self.launches), sum(lt._version for lt in self.launches))
+        if token != self._agg_token:
+            self._agg_cache.clear()
+            self._agg_token = token
+        if key not in self._agg_cache:
+            self._agg_cache[key] = compute()
+        return self._agg_cache[key]
+
     # Aggregates -------------------------------------------------------
     @property
     def thread_insts(self) -> int:
-        return sum(lt.thread_insts for lt in self.launches)
+        return self._cached(
+            "thread_insts", lambda: sum(lt.thread_insts for lt in self.launches)
+        )
 
     @property
     def issued_warp_insts(self) -> int:
-        return sum(lt.issued_warp_insts for lt in self.launches)
+        return self._cached(
+            "issued_warp_insts",
+            lambda: sum(lt.issued_warp_insts for lt in self.launches),
+        )
 
     @property
     def n_launches(self) -> int:
         return len(self.launches)
 
-    @property
-    def occupancy_hist(self) -> np.ndarray:
+    def _occupancy_hist(self) -> np.ndarray:
         out = np.zeros(32, dtype=np.int64)
         for lt in self.launches:
             out += lt.occupancy_hist
+        out.flags.writeable = False  # cached: callers must not mutate
         return out
+
+    @property
+    def occupancy_hist(self) -> np.ndarray:
+        return self._cached("occupancy_hist", self._occupancy_hist)
 
     def occupancy_buckets(self) -> Dict[str, float]:
         """Figure 3's quartile buckets as fractions of issued warps."""
@@ -211,11 +262,16 @@ class KernelTrace:
 
     @property
     def dram_bytes(self) -> int:
-        return sum(lt.dram_bytes for lt in self.launches)
+        return self._cached(
+            "dram_bytes", lambda: sum(lt.dram_bytes for lt in self.launches)
+        )
 
     @property
     def n_transactions(self) -> int:
-        return sum(lt.n_transactions for lt in self.launches)
+        return self._cached(
+            "n_transactions",
+            lambda: sum(lt.n_transactions for lt in self.launches),
+        )
 
     def category_mix(self) -> Dict[str, float]:
         totals: Dict[Category, int] = {c: 0 for c in Category}

@@ -164,3 +164,40 @@ class TestDeviceArray:
         assert arr.size == 6
         assert arr.nbytes == 24
         assert arr.shape == (2, 3)
+
+
+class TestWarmBatchCache:
+    """CacheModel.access may switch between the scalar loop and the
+    batch way-matrix engine mid-stream; the warm state handoff in both
+    directions must be exact."""
+
+    @pytest.mark.parametrize("hash_sets", [False, True])
+    def test_scalar_batch_scalar_equals_pure_scalar(self, hash_sets):
+        rng = np.random.default_rng(7)
+        warm = rng.integers(0, 4096, size=3000) * 64
+        big = rng.integers(0, 4096, size=20000) * 64
+        tail = rng.integers(0, 4096, size=500) * 64
+
+        mixed = CacheModel(16 * 1024, assoc=4, hash_sets=hash_sets)
+        oracle = CacheModel(16 * 1024, assoc=4, hash_sets=hash_sets)
+
+        got = [mixed.access(part) for part in (warm, big, tail)]
+        want = [
+            np.array([oracle.access_one(int(a)) for a in part])
+            for part in (warm, big, tail)
+        ]
+        for g, w in zip(got, want):
+            np.testing.assert_array_equal(g, w)
+        assert (mixed.hits, mixed.misses) == (oracle.hits, oracle.misses)
+        # Post-state must also agree: identical per-set LRU lists.
+        assert mixed._sets == oracle._sets
+
+    def test_batch_on_cold_cache_unchanged(self):
+        rng = np.random.default_rng(11)
+        addrs = rng.integers(0, 2048, size=8192) * 64
+        cold = CacheModel(16 * 1024, assoc=4)
+        ref = CacheModel(16 * 1024, assoc=4)
+        got = cold.access(addrs)
+        want = np.array([ref.access_one(int(a)) for a in addrs])
+        np.testing.assert_array_equal(got, want)
+        assert cold._sets == ref._sets

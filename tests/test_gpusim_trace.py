@@ -107,3 +107,58 @@ class TestKernelTraceAggregates:
         buckets = KernelTrace("e").occupancy_buckets()
         assert sum(buckets.values()) == 0.0
         assert KernelTrace("e").mean_warp_occupancy == 0.0
+
+
+class TestAggregateMemoization:
+    def test_aggregates_cached_until_new_data(self):
+        tr = KernelTrace("memo")
+        a = tr.new_launch("k", (2, 1), (32, 1), 16)
+        a.charge_warps(Category.ALU, np.array([32, 32]))
+        first = tr.thread_insts
+        assert tr.thread_insts is first or tr.thread_insts == first
+        assert tr._agg_cache  # memoized after first access
+        # More data on an *existing* launch must invalidate the cache.
+        a.charge_warps(Category.ALU, np.array([32, 32]))
+        assert tr.thread_insts == first + 64
+
+    def test_new_launch_invalidates(self):
+        tr = KernelTrace("memo")
+        a = tr.new_launch("k", (1, 1), (32, 1), 16)
+        a.charge_warps(Category.MEM, np.array([16]))
+        assert tr.issued_warp_insts == 1
+        b = tr.new_launch("k2", (1, 1), (32, 1), 16)
+        b.charge_warps(Category.MEM, np.array([16, 8]))
+        assert tr.issued_warp_insts == 3
+
+    def test_transactions_invalidate_dram_bytes(self):
+        tr = KernelTrace("memo")
+        a = tr.new_launch("k", (1, 1), (32, 1), 16)
+        assert tr.dram_bytes == 0
+        a.record_transactions(np.array([0, 64, 128]), 0, False)
+        assert tr.n_transactions == 3
+        assert tr.dram_bytes == 3 * 64
+
+    def test_occupancy_hist_cached_copy_is_readonly(self):
+        tr = KernelTrace("memo")
+        a = tr.new_launch("k", (1, 1), (32, 1), 16)
+        a.charge_warps(Category.ALU, np.array([32]))
+        hist = tr.occupancy_hist
+        assert not hist.flags.writeable
+        with pytest.raises(ValueError):
+            hist[0] = 99
+
+    def test_transaction_stream_matches_per_warp_recording(self):
+        """record_transaction_stream is the batch engine's entry point;
+        appending a pre-assembled stream must be indistinguishable from
+        the equivalent sequence of record_transactions calls."""
+        a = LaunchTrace("k", (2, 1), (32, 1), 16)
+        a.record_transactions(np.array([0, 64]), 0, False)
+        a.record_transactions(np.array([128]), 1, True)
+        b = LaunchTrace("k", (2, 1), (32, 1), 16)
+        b.record_transaction_stream(
+            np.array([0, 64, 128]),
+            np.array([0, 0, 1]),
+            np.array([False, False, True]),
+        )
+        for u, v in zip(a.transactions(), b.transactions()):
+            np.testing.assert_array_equal(u, v)
