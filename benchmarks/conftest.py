@@ -61,9 +61,9 @@ def save_result():
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _save(result):
+        # ExperimentResult.render() includes any non-tabular payload
+        # (fig6's dendrogram travels in result.text).
         text = result.render()
-        if result.experiment == "fig6":
-            text += "\n\n" + result.data["dendrogram"]
         (RESULTS_DIR / f"{result.experiment}.txt").write_text(text + "\n")
         print("\n" + text)
         return result

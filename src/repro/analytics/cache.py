@@ -31,6 +31,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
+
 #: Way-matrix slot holding no line.  Real line addresses are
 #: non-negative, so -1 can never produce a false hit.
 EMPTY_LINE = np.int64(-1)
@@ -195,6 +197,22 @@ def simulate_lru_sets(
     W_out[desc] = W
     len_out = np.empty_like(lengths)
     len_out[desc] = lengths
+    if telemetry.active():
+        n_miss = int(miss_pg.sum())
+        # A miss inserts one line; whatever did not fit in the final
+        # occupancy over the initial one was evicted.
+        init_len = (
+            np.zeros(G, dtype=np.int64) if init_lengths is None
+            else np.asarray(init_lengths, dtype=np.int64)
+        )
+        telemetry.count("analytics.lru.accesses", int(sorted_lines.size))
+        telemetry.count("analytics.lru.misses", n_miss)
+        telemetry.count("analytics.lru.hits",
+                        int(sorted_lines.size) - n_miss)
+        telemetry.count(
+            "analytics.lru.evictions",
+            int((init_len + miss_out - len_out).sum()),
+        )
     return LRUSetsResult(miss_out, W_out, len_out, hits_sorted)
 
 
@@ -261,11 +279,13 @@ def miss_rates_exact_batch(
             if sorted_lines is None:
                 sorted_lines = lines[part.order]
         if force or batch_worthwhile(n, part.counts):
+            telemetry.count("analytics.lru.dispatch.batch")
             res = simulate_lru_sets(
                 sorted_lines, part.starts, part.counts, assoc
             )
             misses = int(res.miss_per_group.sum())
         else:
+            telemetry.count("analytics.lru.dispatch.scalar")
             misses = _misses_grouped_scalar(
                 sorted_lines, part.starts, part.counts, assoc
             )

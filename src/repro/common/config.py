@@ -1,14 +1,24 @@
-"""Problem-size scaling.
+"""Problem-size scaling and runtime configuration.
 
 The paper runs native binaries; this reproduction runs an instrumenting
 interpreter, so every workload supports a scale knob.  ``SimScale`` names
 the three standard operating points used across tests, examples, and the
 benchmark harness.
+
+:class:`RuntimeConfig` consolidates every ``REPRO_*`` environment toggle
+into one typed record resolved in a single place.  Call sites ask
+:func:`config` instead of touching ``os.environ``; tests push explicit
+values with the :func:`override` context manager instead of patching the
+environment.
 """
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
 import enum
+import os
+from typing import Iterator, List, Optional, Tuple
 
 
 class SimScale(enum.Enum):
@@ -34,3 +44,109 @@ class SimScale(enum.Enum):
 def scaled(base: int, scale: SimScale, minimum: int = 1) -> int:
     """Scale a TINY-relative base dimension to the requested operating point."""
     return max(minimum, base * scale.factor)
+
+
+# ----------------------------------------------------------------------
+# Runtime configuration (REPRO_* environment toggles)
+# ----------------------------------------------------------------------
+#: Values that turn a boolean toggle off, matching the historical
+#: per-module parsers (``REPRO_CACHE=off``, ``REPRO_GPU_BATCH=0``, ...).
+FALSE_VALUES = ("off", "0", "no", "false")
+
+#: Default lane budget per batched-GPU step (see repro.gpusim.batch).
+DEFAULT_BATCH_LANES = 1 << 18
+
+#: Default artifact-cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_ENV_VARS = (
+    "REPRO_GPU_BATCH",
+    "REPRO_GPU_BATCH_LANES",
+    "REPRO_CACHE",
+    "REPRO_CACHE_DIR",
+    "REPRO_TRACE",
+)
+
+
+def _env_true(value: Optional[str], default: bool = True) -> bool:
+    if value is None or not value.strip():
+        return default
+    return value.strip().lower() not in FALSE_VALUES
+
+
+@dataclasses.dataclass(frozen=True)
+class RuntimeConfig:
+    """Every runtime toggle of the stack, as one typed, immutable record.
+
+    gpu_batch       -- route kernel launches through the block-batched
+                       engine (``REPRO_GPU_BATCH``, default on).
+    gpu_batch_lanes -- lane budget per batch step
+                       (``REPRO_GPU_BATCH_LANES``).
+    cache           -- persist workload artifacts on disk
+                       (``REPRO_CACHE``, default on).
+    cache_dir       -- artifact-cache root (``REPRO_CACHE_DIR``).
+    trace           -- telemetry JSONL output path (``REPRO_TRACE``),
+                       None when tracing is off.
+    """
+
+    gpu_batch: bool = True
+    gpu_batch_lanes: int = DEFAULT_BATCH_LANES
+    cache: bool = True
+    cache_dir: str = DEFAULT_CACHE_DIR
+    trace: Optional[str] = None
+
+    @classmethod
+    def from_env(cls) -> "RuntimeConfig":
+        """Resolve every field from the environment (the fallback source)."""
+        try:
+            lanes = max(1, int(os.environ.get("REPRO_GPU_BATCH_LANES", "")))
+        except ValueError:
+            lanes = DEFAULT_BATCH_LANES
+        return cls(
+            gpu_batch=_env_true(os.environ.get("REPRO_GPU_BATCH")),
+            gpu_batch_lanes=lanes,
+            cache=_env_true(os.environ.get("REPRO_CACHE")),
+            cache_dir=os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR),
+            trace=os.environ.get("REPRO_TRACE") or None,
+        )
+
+
+_overrides: List[RuntimeConfig] = []
+# Cache of the env-derived config, keyed on the raw REPRO_* values so a
+# test that monkeypatches the environment still observes its change
+# while steady-state callers pay five dict reads, not a full re-parse.
+_env_cache: Optional[Tuple[Tuple[Optional[str], ...], RuntimeConfig]] = None
+
+
+def config() -> RuntimeConfig:
+    """The active runtime configuration.
+
+    Innermost :func:`override` wins; otherwise the environment-derived
+    config (re-resolved only when a ``REPRO_*`` variable changed since
+    the last call, so repeated reads are effectively free).
+    """
+    global _env_cache
+    if _overrides:
+        return _overrides[-1]
+    key = tuple(os.environ.get(v) for v in _ENV_VARS)
+    if _env_cache is None or _env_cache[0] != key:
+        _env_cache = (key, RuntimeConfig.from_env())
+    return _env_cache[1]
+
+
+@contextlib.contextmanager
+def override(**fields) -> Iterator[RuntimeConfig]:
+    """Temporarily replace selected config fields (tests, tools).
+
+        with override(gpu_batch=False):
+            ...  # every launch takes the scalar path
+
+    Overrides nest; each layer is the previous active config with the
+    named fields replaced.
+    """
+    cfg = dataclasses.replace(config(), **fields)
+    _overrides.append(cfg)
+    try:
+        yield cfg
+    finally:
+        _overrides.pop()

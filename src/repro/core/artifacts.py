@@ -18,13 +18,18 @@ manual invalidation step.
 Layout: ``<root>/<kind>-<name>-<scale>-<hash12>.{json,npz}`` — flat,
 human-listable, safe for concurrent writers (atomic tmp + rename).
 
-Control:
+Control (all resolved through :func:`repro.common.config.config`):
 
 - ``REPRO_CACHE_DIR`` — cache root (default ``.repro_cache`` under the
   current directory).
 - ``REPRO_CACHE=off`` (or ``0``/``no``) — disable persistence entirely.
 - :func:`set_artifact_cache` — programmatic override (tests, runner
   ``--no-cache``).
+
+When telemetry is active every lookup lands on an
+``artifacts.{cpu,gpu}.{hit,miss}`` counter and every store on
+``artifacts.{cpu,gpu}.put``, so a trace shows exactly how effective the
+cache was for a run.
 """
 
 from __future__ import annotations
@@ -38,7 +43,8 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-from repro.common.config import SimScale
+from repro import telemetry
+from repro.common.config import SimScale, config as runtime_config
 from repro.cpusim.metrics import CPUMetrics
 from repro.cpusim.sharing import SharingStats
 from repro.gpusim.trace import KernelTrace
@@ -47,8 +53,6 @@ from repro.gpusim.trace_io import load_trace, save_trace
 #: Bump when the serialized layout or the meaning of a cached artifact
 #: changes; old entries are simply never matched again.
 ARTIFACT_FORMAT = 1
-
-_DISABLE_VALUES = ("off", "0", "no", "false")
 
 
 def _source_fingerprint(fn) -> str:
@@ -135,9 +139,12 @@ class ArtifactCache:
         path = self._path("cpu", name, scale, key, ".json")
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                return _metrics_from_dict(json.load(fh))
+                metrics = _metrics_from_dict(json.load(fh))
         except (OSError, ValueError, KeyError, TypeError):
+            telemetry.count("artifacts.cpu.miss")
             return None
+        telemetry.count("artifacts.cpu.hit")
+        return metrics
 
     def put_cpu(self, name: str, scale: SimScale, key: str,
                 metrics: CPUMetrics) -> None:
@@ -149,6 +156,7 @@ class ArtifactCache:
                 fh.write(payload)
 
         self._write_atomic(path, write)
+        telemetry.count("artifacts.cpu.put")
 
     # -- GPU kernel traces ----------------------------------------------
     def gpu_key(self, name: str, scale: SimScale, version: int, gpu_fn,
@@ -162,14 +170,18 @@ class ArtifactCache:
     def get_gpu(self, name: str, scale: SimScale, key: str) -> Optional[KernelTrace]:
         path = self._path("gpu", name, scale, key, ".npz")
         try:
-            return load_trace(path)
+            trace = load_trace(path)
         except (OSError, ValueError, KeyError, EOFError):
+            telemetry.count("artifacts.gpu.miss")
             return None
+        telemetry.count("artifacts.gpu.hit")
+        return trace
 
     def put_gpu(self, name: str, scale: SimScale, key: str,
                 trace: KernelTrace) -> None:
         path = self._path("gpu", name, scale, key, ".npz")
         self._write_atomic(path, lambda tmp: save_trace(trace, tmp))
+        telemetry.count("artifacts.gpu.put")
 
 
 # ----------------------------------------------------------------------
@@ -180,11 +192,11 @@ _override_set = False
 
 
 def default_cache() -> Optional[ArtifactCache]:
-    """The environment-configured cache, or ``None`` when disabled."""
-    if os.environ.get("REPRO_CACHE", "").strip().lower() in _DISABLE_VALUES:
+    """The configuration-resolved cache, or ``None`` when disabled."""
+    cfg = runtime_config()
+    if not cfg.cache:
         return None
-    root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
-    return ArtifactCache(root)
+    return ArtifactCache(cfg.cache_dir)
 
 
 def get_artifact_cache() -> Optional[ArtifactCache]:

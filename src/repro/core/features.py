@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.common.config import SimScale
 from repro.core.artifacts import get_artifact_cache
 from repro.cpusim import CodeFootprintTracer, CPUMetrics, Machine, characterize_trace
@@ -82,19 +83,24 @@ def cpu_metrics_for(
     once per (implementation, scale, machine config) across all runs.
     """
     key = (name, scale)
-    if key not in _cpu_cache:
-        defn = wl.get(name)
-        if defn.cpu_fn is None:
-            raise ValueError(f"{name} has no CPU implementation")
-        disk = get_artifact_cache()
-        dkey = None
-        if disk is not None:
-            dkey = disk.cpu_key(name, scale, defn.cpu_fn, _machine_config())
-            cached = disk.get_cpu(name, scale, dkey)
-            if cached is not None:
-                _cpu_cache[key] = cached
-                return cached
-        EXECUTIONS.append(("cpu", name, scale.value))
+    if key in _cpu_cache:
+        telemetry.count("features.memo.cpu.hit")
+        return _cpu_cache[key]
+    telemetry.count("features.memo.cpu.miss")
+    defn = wl.get(name)
+    if defn.cpu_fn is None:
+        raise ValueError(f"{name} has no CPU implementation")
+    disk = get_artifact_cache()
+    dkey = None
+    if disk is not None:
+        dkey = disk.cpu_key(name, scale, defn.cpu_fn, _machine_config())
+        cached = disk.get_cpu(name, scale, dkey)
+        if cached is not None:
+            _cpu_cache[key] = cached
+            return cached
+    EXECUTIONS.append(("cpu", name, scale.value))
+    with telemetry.span("workload", name=name, kind="cpu",
+                        scale=scale.value):
         machine = Machine()
         tracer = CodeFootprintTracer()
         with tracer:
@@ -104,10 +110,10 @@ def cpu_metrics_for(
         metrics = characterize_trace(
             machine, name, code_footprint_64b=tracer.footprint_blocks()
         )
-        _cpu_cache[key] = metrics
-        if disk is not None:
-            disk.put_cpu(name, scale, dkey, metrics)
-    return _cpu_cache[key]
+    _cpu_cache[key] = metrics
+    if disk is not None:
+        disk.put_cpu(name, scale, dkey, metrics)
+    return metrics
 
 
 def gpu_trace_for(
@@ -122,32 +128,37 @@ def gpu_trace_for(
     1, 4, 5, and the PB study) reuses one functional execution.
     """
     key = (name, scale, version or 0)
-    if key not in _gpu_cache:
-        defn = wl.get(name)
-        fn = defn.gpu_fn
-        if version is not None:
-            if not defn.gpu_versions or version not in defn.gpu_versions:
-                raise ValueError(f"{name} has no GPU version {version}")
-            fn = defn.gpu_versions[version]
-        if fn is None:
-            raise ValueError(f"{name} has no GPU implementation")
-        disk = get_artifact_cache()
-        dkey = None
-        if disk is not None:
-            dkey = disk.gpu_key(name, scale, version or 0, fn)
-            cached = disk.get_gpu(name, scale, dkey)
-            if cached is not None:
-                _gpu_cache[key] = cached
-                return cached
-        EXECUTIONS.append(("gpu", name, scale.value))
+    if key in _gpu_cache:
+        telemetry.count("features.memo.gpu.hit")
+        return _gpu_cache[key]
+    telemetry.count("features.memo.gpu.miss")
+    defn = wl.get(name)
+    fn = defn.gpu_fn
+    if version is not None:
+        if not defn.gpu_versions or version not in defn.gpu_versions:
+            raise ValueError(f"{name} has no GPU version {version}")
+        fn = defn.gpu_versions[version]
+    if fn is None:
+        raise ValueError(f"{name} has no GPU implementation")
+    disk = get_artifact_cache()
+    dkey = None
+    if disk is not None:
+        dkey = disk.gpu_key(name, scale, version or 0, fn)
+        cached = disk.get_gpu(name, scale, dkey)
+        if cached is not None:
+            _gpu_cache[key] = cached
+            return cached
+    EXECUTIONS.append(("gpu", name, scale.value))
+    with telemetry.span("workload", name=name, kind="gpu",
+                        scale=scale.value, version=version or 0):
         gpu = GPU(app_name=name)
         result = fn(gpu, scale)
         if check and version is None and defn.check_gpu is not None:
             defn.check_gpu(result, scale)
-        _gpu_cache[key] = gpu.trace
-        if disk is not None:
-            disk.put_gpu(name, scale, dkey, gpu.trace)
-    return _gpu_cache[key]
+    _gpu_cache[key] = gpu.trace
+    if disk is not None:
+        disk.put_gpu(name, scale, dkey, gpu.trace)
+    return gpu.trace
 
 
 def clear_caches() -> None:

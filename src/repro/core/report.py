@@ -81,6 +81,23 @@ def _cpu_section(name: str, scale: SimScale) -> List[str]:
     ]
 
 
+def run_report(scale: SimScale = SimScale.SMALL) -> "ExperimentResult":
+    """The report as an experiment driver (id ``report``).
+
+    Lets the runner and the typed entry point
+    (:func:`repro.experiments.run_experiment`) treat the full Markdown
+    characterization exactly like any table/figure driver: the document
+    body travels in ``text``, so ``render()`` is the report.
+    """
+    from repro.experiments import ExperimentResult
+
+    text = build_report(scale)
+    return ExperimentResult(
+        "report", [], {"markdown": text},
+        title="Workload characterization report", text=text,
+    )
+
+
 def build_report(
     scale: SimScale = SimScale.SMALL,
     names: Optional[Sequence[str]] = None,

@@ -1,31 +1,73 @@
 """Experiment drivers: one module per paper table/figure.
 
-Every driver exposes ``run(scale) -> ExperimentResult`` where the result
-carries rendered tables (what the paper printed/plotted) plus the raw
-data series for tests and benchmarks.  ``REGISTRY`` maps experiment ids
-(e.g. ``fig1``, ``table3``, ``pb``) to drivers; the CLI is
+Every driver exposes ``run_<id>(scale) -> ExperimentResult``; drivers
+are looked up by id (``fig1``, ``table3``, ``pb``, ``report``, ...) and
+invoked through the one typed entry point, :func:`run_experiment`, which
+wraps the driver in a telemetry span and fills in the result's
+``title``/``metadata``/``span_id``.  The CLI is
 ``python -m repro.experiments.runner <id>``.
+
+:class:`ExperimentResult` is the single return type of the whole
+experiment layer: rendered tables (what the paper printed/plotted), an
+optional non-tabular ``text`` payload (dendrograms, the Markdown
+report), and the raw ``data`` series for tests and benchmarks.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import importlib
-from typing import Callable, Dict, List
+import time
+from typing import Any, Callable, Dict, List, Optional
 
+from repro import telemetry
+from repro.common.config import SimScale
 from repro.common.tables import Table
 
 
 @dataclasses.dataclass
 class ExperimentResult:
-    """Rendered tables plus raw data of one experiment."""
+    """Typed outcome of one experiment run.
+
+    experiment -- the experiment id (``fig1``, ``table3``, ``report``).
+    tables     -- rendered :class:`~repro.common.tables.Table` objects.
+    data       -- raw data series keyed however the driver documents.
+    title      -- human title; defaults to the first table's title.
+    text       -- non-tabular rendered payload appended by
+                  :meth:`render` (fig6's dendrogram, the report's
+                  Markdown body).
+    metadata   -- run provenance: scale, wall-clock duration, counts.
+    span_id    -- id of the ``experiment`` telemetry span that covered
+                  the driver call (None when telemetry was off).
+    """
 
     experiment: str
     tables: List[Table]
     data: dict
+    title: str = ""
+    text: str = ""
+    metadata: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    span_id: Optional[str] = None
+
+    @property
+    def id(self) -> str:
+        """Alias of ``experiment`` for the typed-API vocabulary."""
+        return self.experiment
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        """Every table row as a dict, tagged with its table's title."""
+        return [
+            dict(zip(t.columns, row), _table=t.title)
+            for t in self.tables
+            for row in t.rows
+        ]
 
     def render(self) -> str:
-        return "\n\n".join(t.render() for t in self.tables)
+        parts = [t.render() for t in self.tables]
+        if self.text:
+            parts.append(self.text)
+        return "\n\n".join(parts)
 
 
 _MODULES = {
@@ -65,9 +107,48 @@ ALL_EXPERIMENTS = tuple(_MODULES)
 
 def get_driver(experiment: str) -> Callable:
     """The ``run(scale)`` callable for an experiment id."""
+    if experiment == "report":
+        # The full Markdown characterization; not part of
+        # ALL_EXPERIMENTS (it re-renders what the others measure) but a
+        # first-class driver for the typed entry point and the CLI.
+        from repro.core.report import run_report
+
+        return run_report
     if experiment not in _MODULES:
         raise KeyError(
             f"unknown experiment {experiment!r}; known: {sorted(_MODULES)}"
         )
     mod = importlib.import_module(f"repro.experiments.{_MODULES[experiment]}")
     return getattr(mod, f"run_{experiment}")
+
+
+def run_experiment(
+    experiment: str, scale: SimScale = SimScale.SMALL
+) -> ExperimentResult:
+    """Run one experiment under a telemetry span; the typed entry point.
+
+    Every consumer of the experiment layer (the CLI runner, the
+    benchmark harness, the report) goes through here, so every result
+    arrives with a uniform title, provenance metadata, and — when
+    telemetry is active — the id of the span covering the driver call.
+    """
+    driver = get_driver(experiment)
+    t0 = time.perf_counter()
+    with telemetry.span(
+        "experiment", experiment=experiment, scale=scale.value
+    ) as sp:
+        result = driver(scale)
+    if not isinstance(result, ExperimentResult):
+        raise TypeError(
+            f"driver for {experiment!r} returned {type(result).__name__}, "
+            "expected ExperimentResult"
+        )
+    if not result.title:
+        result.title = result.tables[0].title if result.tables else experiment
+    result.metadata.setdefault("scale", scale.value)
+    result.metadata.setdefault(
+        "duration_s", round(time.perf_counter() - t0, 3)
+    )
+    result.metadata.setdefault("n_tables", len(result.tables))
+    result.span_id = sp.id
+    return result

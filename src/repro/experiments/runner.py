@@ -9,7 +9,15 @@ artifact cache (:mod:`repro.core.artifacts`) shares them across *runs*.
 process pool: functional executions are independent per workload, so
 they parallelize perfectly; the experiments themselves then run in the
 parent against the warm cache.  ``--no-cache`` disables artifact
-persistence for the run (equivalent to ``REPRO_CACHE=off``).
+persistence for the run (equivalent to ``REPRO_CACHE=off``) and is
+therefore incompatible with ``--jobs``.
+
+Observability (:mod:`repro.telemetry`): ``--trace out.jsonl`` writes
+every span and counter as JSONL (``REPRO_TRACE`` is the environment
+fallback); ``--metrics`` prints the aggregated summary tables after the
+run.  Every experiment invocation goes through the typed entry point
+:func:`repro.experiments.run_experiment`, so each one is covered by an
+``experiment`` span nested under the CLI's ``run`` span.
 """
 
 from __future__ import annotations
@@ -19,8 +27,9 @@ import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 
-from repro.common.config import SimScale
-from repro.experiments import ALL_EXPERIMENTS, get_driver
+from repro import telemetry
+from repro.common.config import SimScale, config
+from repro.experiments import ALL_EXPERIMENTS, run_experiment
 
 
 def _warm_cache(scale: SimScale, jobs: int) -> None:
@@ -29,17 +38,18 @@ def _warm_cache(scale: SimScale, jobs: int) -> None:
 
     names = suite_workloads(dedupe_shared=False)
     t0 = time.time()
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {
-            pool.submit(warm_workload, name, scale.value): name
-            for name in names
-        }
-        for fut in as_completed(futures):
-            name, produced = fut.result()
-            print(
-                f"[warm] {name}: {'+'.join(produced) or 'nothing to run'}",
-                file=sys.stderr,
-            )
+    with telemetry.span("warm_cache", jobs=jobs, workloads=len(names)):
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(warm_workload, name, scale.value): name
+                for name in names
+            }
+            for fut in as_completed(futures):
+                name, produced = fut.result()
+                print(
+                    f"[warm] {name}: {'+'.join(produced) or 'nothing to run'}",
+                    file=sys.stderr,
+                )
     print(
         f"[warm] {len(names)} workloads in {time.time() - t0:.1f}s "
         f"({jobs} jobs)",
@@ -70,31 +80,55 @@ def main(argv=None) -> int:
         "--no-cache", action="store_true",
         help="disable the persistent artifact cache for this run",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSONL telemetry trace (spans + counters) to PATH; "
+             "REPRO_TRACE is the environment fallback",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print aggregated telemetry tables (spans, counters, "
+             "gauges) after the run",
+    )
     args = parser.parse_args(argv)
+    # Validate flag interactions before touching any global state, so an
+    # argparse error cannot leave the artifact cache disabled behind the
+    # caller's back.
+    if args.jobs > 1 and args.no_cache:
+        parser.error("--jobs needs the artifact cache; drop --no-cache")
     scale = SimScale(args.scale)
     if args.no_cache:
         from repro.core.artifacts import set_artifact_cache
 
         set_artifact_cache(None)
-    if args.jobs > 1:
-        if args.no_cache:
-            parser.error("--jobs needs the artifact cache; drop --no-cache")
-        _warm_cache(scale, args.jobs)
     ids = list(ALL_EXPERIMENTS) if args.experiments == ["all"] else args.experiments
-    for exp_id in ids:
-        t0 = time.time()
-        if exp_id == "report":
-            from repro.core.report import build_report
-
-            print(build_report(scale))
-        else:
-            driver = get_driver(exp_id)
-            result = driver(scale)
-            print(result.render())
-            if exp_id == "fig6":
+    trace_path = args.trace or config().trace
+    started = (
+        telemetry.start(
+            trace_path=trace_path,
+            meta={"argv": ids, "scale": scale.value},
+        )
+        if (trace_path or args.metrics)
+        else False
+    )
+    try:
+        with telemetry.span("run", scale=scale.value, experiments=len(ids)):
+            if args.jobs > 1:
+                _warm_cache(scale, args.jobs)
+            for exp_id in ids:
+                result = run_experiment(exp_id, scale)
+                print(result.render())
+                print(
+                    f"\n[{exp_id} completed in "
+                    f"{result.metadata['duration_s']:.1f}s]\n"
+                )
+        if args.metrics:
+            for table in telemetry.summary():
+                print(table.render())
                 print()
-                print(result.data["dendrogram"])
-        print(f"\n[{exp_id} completed in {time.time() - t0:.1f}s]\n")
+    finally:
+        if started:
+            telemetry.stop()
     return 0
 
 

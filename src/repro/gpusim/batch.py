@@ -31,11 +31,12 @@ backups, and re-runs the launch on the scalar oracle.
 
 from __future__ import annotations
 
-import os
 from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
+from repro import telemetry
+from repro.common.config import config as runtime_config
 from repro.gpusim.dsl import BlockCtx
 from repro.gpusim.isa import (
     BANK_WORD_BYTES,
@@ -51,18 +52,13 @@ from repro.gpusim.trace import LaunchTrace
 #: far below this, so sentinel-derived quotients can never collide.
 _SENTINEL = np.int64(np.iinfo(np.int64).max)
 
-#: Default lane budget per batch step; grids larger than this are run in
-#: sequential chunks of whole blocks (preserving the block order the
-#: trace commit relies on).
-_DEFAULT_BATCH_LANES = 1 << 18
-
-
 def batch_lanes() -> int:
-    """Lane budget per batch step (``REPRO_GPU_BATCH_LANES``)."""
-    try:
-        return max(1, int(os.environ.get("REPRO_GPU_BATCH_LANES", "")))
-    except ValueError:
-        return _DEFAULT_BATCH_LANES
+    """Lane budget per batch step (``REPRO_GPU_BATCH_LANES``).
+
+    Grids needing more lanes run in sequential chunks of whole blocks
+    (preserving the block order the trace commit relies on).
+    """
+    return runtime_config().gpu_batch_lanes
 
 
 def _row_unique(amat: np.ndarray, divisor: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -537,12 +533,16 @@ class BatchLaunch:
         step = max(1, batch_lanes() // threads)
         with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
             for lo in range(0, n_blocks, step):
-                self._gpu._allocator.reset(Space.SHARED)
-                ctx = BatchBlockCtx(
-                    self._gpu, self._buf, self._backups,
-                    lo, min(step, n_blocks - lo), self._grid, self._block,
-                )
-                kernel(ctx, *args)
+                n_batch = min(step, n_blocks - lo)
+                with telemetry.span(
+                    "batch_pass", blocks=n_batch, lanes=n_batch * threads
+                ):
+                    self._gpu._allocator.reset(Space.SHARED)
+                    ctx = BatchBlockCtx(
+                        self._gpu, self._buf, self._backups,
+                        lo, n_batch, self._grid, self._block,
+                    )
+                    kernel(ctx, *args)
 
     def restore(self) -> None:
         """Undo every device write of a failed batch attempt."""
@@ -550,5 +550,13 @@ class BatchLaunch:
             arr.data[...] = copy
 
     def commit(self) -> None:
+        # Lane occupancy of the committed launch: issued warp slots vs
+        # active threads (perfect occupancy would make them equal x32).
+        telemetry.count(
+            "gpusim.batch.warp_insts", self._buf.issued_warp_insts
+        )
+        telemetry.count(
+            "gpusim.batch.active_lanes", self._buf.thread_insts
+        )
         self._buf.commit(self._launch, self._gpu.tex_cache,
                          self._gpu.const_cache)

@@ -13,11 +13,12 @@ being accumulated.  Kernels are launched with CUDA-like geometry::
 
 from __future__ import annotations
 
-import os
 from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
+from repro.common.config import config as runtime_config
 from repro.gpusim.config import GPUConfig
 from repro.gpusim.dsl import BlockCtx
 from repro.gpusim.isa import Space
@@ -35,12 +36,11 @@ BLOCK_BATCHES: List[Tuple[str, str, int]] = []
 def batch_enabled() -> bool:
     """Whether launches use the block-batched engine (``REPRO_GPU_BATCH``).
 
-    On by default; set ``REPRO_GPU_BATCH=off`` (or ``0``/``false``) to
-    force every launch onto the sequential per-block oracle.
+    On by default; set ``REPRO_GPU_BATCH=off`` (or ``0``/``false``) —
+    or ``repro.common.config.override(gpu_batch=False)`` — to force
+    every launch onto the sequential per-block oracle.
     """
-    return os.environ.get("REPRO_GPU_BATCH", "on").strip().lower() not in (
-        "off", "0", "false", "no",
-    )
+    return runtime_config().gpu_batch
 
 #: Functional texture/constant cache geometry.  Real GPUs have small
 #: per-SM read-only caches shared by that SM's resident CTAs; since our
@@ -151,16 +151,25 @@ class GPU:
             regs_per_thread,
         )
         n_blocks = grid2[0] * grid2[1]
-        if batch_enabled() and kernel not in self._batch_fallbacks:
-            if self._launch_batched(kernel, launch, grid2, block2, args, n_blocks):
-                return
-        # Masked-off lanes legitimately compute garbage (e.g. x/0); the
-        # DSL discards those values, so the warnings are suppressed.
-        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
-            for bidx in range(n_blocks):
-                self._allocator.reset(Space.SHARED)
-                ctx = BlockCtx(self, launch, bidx, grid2, block2)
-                kernel(ctx, *args)
+        with telemetry.span(
+            "kernel_launch", kernel=launch.kernel_name, blocks=n_blocks,
+            threads=threads,
+        ):
+            if batch_enabled() and kernel not in self._batch_fallbacks:
+                if self._launch_batched(
+                    kernel, launch, grid2, block2, args, n_blocks
+                ):
+                    return
+            telemetry.count("gpusim.batch.launches.scalar")
+            telemetry.count("gpusim.batch.blocks.scalar", n_blocks)
+            # Masked-off lanes legitimately compute garbage (e.g. x/0);
+            # the DSL discards those values, so the warnings are
+            # suppressed.
+            with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+                for bidx in range(n_blocks):
+                    self._allocator.reset(Space.SHARED)
+                    ctx = BlockCtx(self, launch, bidx, grid2, block2)
+                    kernel(ctx, *args)
 
     def _launch_batched(
         self,
@@ -188,9 +197,12 @@ class GPU:
             runner.restore()
             self._batch_fallbacks.add(kernel)
             BLOCK_BATCHES.append((launch.kernel_name, "fallback", n_blocks))
+            telemetry.count("gpusim.batch.launches.fallback")
             return False
         runner.commit()
         BLOCK_BATCHES.append((launch.kernel_name, "batched", n_blocks))
+        telemetry.count("gpusim.batch.launches.batched")
+        telemetry.count("gpusim.batch.blocks.batched", n_blocks)
         return True
 
     def reset_trace(self, app_name: str = "") -> KernelTrace:

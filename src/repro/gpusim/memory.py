@@ -13,6 +13,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.gpusim.isa import BANK_WORD_BYTES, SHARED_BANKS, TRANSACTION_BYTES, Space
 
 _SPACE_BASE = {
@@ -101,7 +102,12 @@ def coalesce(addrs: np.ndarray, segment: int = TRANSACTION_BYTES) -> np.ndarray:
     """
     if addrs.size == 0:
         return addrs
-    return np.unique(addrs // segment) * segment
+    segments = np.unique(addrs // segment) * segment
+    if telemetry.active():
+        telemetry.count("gpusim.mem.coalesce.accesses", int(addrs.size))
+        telemetry.count("gpusim.mem.coalesce.transactions",
+                        int(segments.size))
+    return segments
 
 
 def bank_conflict_degree(addrs: np.ndarray) -> int:
@@ -116,7 +122,10 @@ def bank_conflict_degree(addrs: np.ndarray) -> int:
         return 0
     words = np.unique(addrs // BANK_WORD_BYTES)
     banks = words % SHARED_BANKS
-    return int(np.bincount(banks, minlength=1).max())
+    degree = int(np.bincount(banks, minlength=1).max())
+    if degree > 1 and telemetry.active():
+        telemetry.count("gpusim.mem.bank_replays", degree - 1)
+    return degree
 
 
 class CacheModel:
@@ -183,7 +192,9 @@ class CacheModel:
         if addrs.size >= 4096:
             hits = self._access_batch(np.asarray(addrs))
             if hits is not None:
+                telemetry.count("gpusim.cache.dispatch.batch")
                 return hits
+        telemetry.count("gpusim.cache.dispatch.scalar")
         out = np.empty(addrs.size, dtype=bool)
         one = self.access_one
         for i, a in enumerate(addrs.tolist()):

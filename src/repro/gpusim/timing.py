@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.gpusim.config import GPUConfig
 from repro.gpusim.isa import TRANSACTION_BYTES, Category
 from repro.gpusim.memory import CacheModel
@@ -260,7 +261,9 @@ class TimingModel:
         )
 
     def time(self, trace: KernelTrace) -> TimingResult:
-        launches = [self.time_launch(lt) for lt in trace.launches]
+        with telemetry.span("timing", app=trace.app_name,
+                            launches=trace.n_launches):
+            launches = [self.time_launch(lt) for lt in trace.launches]
         return TimingResult(
             config=self.config,
             launches=launches,

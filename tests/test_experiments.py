@@ -196,6 +196,55 @@ class TestSuiteComparison:
         assert all(v > 0 for v in results["fig12"].data.values())
 
 
+class TestTypedAPI:
+    """run_experiment: the one entry point returning ExperimentResult."""
+
+    def test_run_experiment_fills_provenance(self):
+        from repro.experiments import run_experiment
+        res = run_experiment("table1", SCALE)
+        assert isinstance(res, ExperimentResult)
+        assert res.id == res.experiment == "table1"
+        assert res.title.startswith("Table I")
+        assert res.metadata["scale"] == "tiny"
+        assert res.metadata["duration_s"] >= 0.0
+        assert res.metadata["n_tables"] == len(res.tables)
+        assert res.span_id is None  # telemetry off
+
+    def test_rows_are_typed_dicts(self):
+        from repro.experiments import run_experiment
+        res = run_experiment("table1", SCALE)
+        assert len(res.rows) == 12
+        assert all(row["_table"] == res.title for row in res.rows)
+        assert {"Application", "Dwarf", "Domain"} <= set(res.rows[0])
+
+    def test_run_experiment_attaches_span(self):
+        from repro import telemetry
+        from repro.experiments import run_experiment
+        sink = telemetry.MemorySink()
+        assert telemetry.start(sink)
+        try:
+            res = run_experiment("table1", SCALE)
+        finally:
+            telemetry.stop()
+        opens = [e for e in sink.events if e["ev"] == "span_open"]
+        assert res.span_id == opens[0]["id"]
+        assert opens[0]["name"] == "experiment"
+        assert opens[0]["attrs"]["experiment"] == "table1"
+
+    def test_report_is_a_driver(self):
+        from repro.experiments import run_experiment
+        res = run_experiment("report", SCALE)
+        assert res.id == "report"
+        assert res.tables == []
+        assert "# Workload characterization report" in res.render()
+        assert res.data["markdown"] == res.text
+
+    def test_fig6_render_includes_dendrogram(self, results):
+        res = results["fig6"]
+        assert res.text == res.data["dendrogram"]
+        assert res.data["dendrogram"] in res.render()
+
+
 class TestRunnerCLI:
     def test_cli_runs_one_experiment(self, capsys):
         from repro.experiments.runner import main
@@ -207,3 +256,50 @@ class TestRunnerCLI:
         from repro.experiments.runner import main
         with pytest.raises(KeyError):
             main(["fig99", "--scale", "tiny"])
+
+    def test_jobs_with_no_cache_is_parser_error(self, capsys):
+        """--jobs would warm a cache --no-cache just disabled: refuse."""
+        from repro.core import artifacts
+        from repro.experiments.runner import main
+        before = artifacts.get_artifact_cache()
+        with pytest.raises(SystemExit):
+            main(["table1", "--scale", "tiny", "--jobs", "2", "--no-cache"])
+        err = capsys.readouterr().err
+        assert "--no-cache" in err
+        # The rejected invocation must not have touched global state.
+        assert artifacts.get_artifact_cache() is before
+
+    def test_no_cache_alone_disables_cache(self, capsys):
+        from repro.core import artifacts
+        from repro.experiments.runner import main
+        before = artifacts.get_artifact_cache()
+        try:
+            assert main(["table1", "--scale", "tiny", "--no-cache"]) == 0
+            assert artifacts.get_artifact_cache() is None
+            assert "Table I" in capsys.readouterr().out
+        finally:
+            artifacts.set_artifact_cache(before)
+
+    def test_trace_and_metrics_flags(self, capsys, tmp_path):
+        from repro import telemetry
+        from repro.experiments.runner import main
+        path = str(tmp_path / "run.jsonl")
+        assert main(
+            ["table1", "--scale", "tiny", "--trace", path, "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry: spans" in out
+        assert not telemetry.active()  # session closed on exit
+        events = telemetry.parse_trace(path)
+        names = [e["name"] for e in events if e["ev"] == "span_open"]
+        assert "run" in names and "experiment" in names
+
+    def test_repro_trace_env_fallback(self, monkeypatch, tmp_path, capsys):
+        from repro import telemetry
+        from repro.experiments.runner import main
+        path = str(tmp_path / "env.jsonl")
+        monkeypatch.setenv("REPRO_TRACE", path)
+        assert main(["table1", "--scale", "tiny"]) == 0
+        events = telemetry.parse_trace(path)
+        assert any(e["ev"] == "span_open" and e["name"] == "run"
+                   for e in events)
