@@ -5,10 +5,12 @@ Benchmarks run the paper's experiments at SMALL scale (override with
 rendered tables to ``benchmarks/results/<id>.txt`` so the regenerated
 paper data survives the run.
 
-Every benchmark's wall-clock time is appended to
+With ``--update-bench`` (or ``REPRO_BENCH_UPDATE=1``), every
+benchmark's wall-clock time is appended to
 ``benchmarks/BENCH_timings.json`` at session end — one record per
 session with a per-test breakdown — so performance regressions across
-commits show up as data, not anecdotes.
+commits show up as a trajectory, not anecdotes.  Exploratory runs
+without the flag leave the history untouched.
 """
 
 import json
@@ -26,13 +28,25 @@ TIMINGS_PATH = pathlib.Path(__file__).parent / "BENCH_timings.json"
 _timings = {}
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-bench", action="store_true", default=False,
+        help="append this session's timings to BENCH_timings.json "
+             "(REPRO_BENCH_UPDATE=1 is the environment fallback)",
+    )
+
+
 def pytest_runtest_logreport(report):
     if report.when == "call" and report.passed:
         _timings[report.nodeid] = round(report.duration, 4)
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if not _timings:
+    update = session.config.getoption("--update-bench") or (
+        os.environ.get("REPRO_BENCH_UPDATE", "").strip().lower()
+        in ("1", "yes", "true", "on")
+    )
+    if not _timings or not update:
         return
     try:
         history = json.loads(TIMINGS_PATH.read_text())

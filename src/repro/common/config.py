@@ -59,12 +59,18 @@ DEFAULT_BATCH_LANES = 1 << 18
 #: Default artifact-cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
 
+#: Default run-registry root used by the experiment CLI (the library
+#: default leaves the registry off; see ``RuntimeConfig.registry_dir``).
+DEFAULT_REGISTRY_DIR = ".repro_runs"
+
 _ENV_VARS = (
     "REPRO_GPU_BATCH",
     "REPRO_GPU_BATCH_LANES",
     "REPRO_CACHE",
     "REPRO_CACHE_DIR",
     "REPRO_TRACE",
+    "REPRO_PROFILE",
+    "REPRO_REGISTRY",
 )
 
 
@@ -87,6 +93,13 @@ class RuntimeConfig:
     cache_dir       -- artifact-cache root (``REPRO_CACHE_DIR``).
     trace           -- telemetry JSONL output path (``REPRO_TRACE``),
                        None when tracing is off.
+    profile         -- span self-time attribution + tracemalloc peak
+                       gauges when a telemetry session starts
+                       (``REPRO_PROFILE``, default off).
+    registry_dir    -- run-registry root (``REPRO_REGISTRY``); None (the
+                       default) disables persisting run records.  The
+                       experiment CLI turns this on with
+                       ``DEFAULT_REGISTRY_DIR`` unless told otherwise.
     """
 
     gpu_batch: bool = True
@@ -94,6 +107,8 @@ class RuntimeConfig:
     cache: bool = True
     cache_dir: str = DEFAULT_CACHE_DIR
     trace: Optional[str] = None
+    profile: bool = False
+    registry_dir: Optional[str] = None
 
     @classmethod
     def from_env(cls) -> "RuntimeConfig":
@@ -102,12 +117,19 @@ class RuntimeConfig:
             lanes = max(1, int(os.environ.get("REPRO_GPU_BATCH_LANES", "")))
         except ValueError:
             lanes = DEFAULT_BATCH_LANES
+        registry = os.environ.get("REPRO_REGISTRY", "").strip()
+        if not registry or registry.lower() in FALSE_VALUES:
+            registry_dir = None
+        else:
+            registry_dir = registry
         return cls(
             gpu_batch=_env_true(os.environ.get("REPRO_GPU_BATCH")),
             gpu_batch_lanes=lanes,
             cache=_env_true(os.environ.get("REPRO_CACHE")),
             cache_dir=os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR),
             trace=os.environ.get("REPRO_TRACE") or None,
+            profile=_env_true(os.environ.get("REPRO_PROFILE"), default=False),
+            registry_dir=registry_dir,
         )
 
 

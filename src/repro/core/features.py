@@ -166,24 +166,60 @@ def clear_caches() -> None:
     _gpu_cache.clear()
 
 
-def warm_workload(name: str, scale_value: str) -> Tuple[str, List[str]]:
+def warm_workload(
+    name: str,
+    scale_value: str,
+    trace_path: Optional[str] = None,
+    collect: bool = False,
+) -> Tuple[str, List[str], Dict[str, int]]:
     """Execute one workload's implementations, persisting the artifacts.
 
     Process-pool worker for ``runner --jobs N``: each worker process
     fills the shared on-disk artifact cache, after which the parent's
     experiments run without executing any workload.  Takes/returns only
     picklable primitives.
+
+    When the parent has telemetry on, its counters must not silently
+    lose the child work: with ``collect`` (or ``trace_path``) the task
+    runs under its own telemetry session and returns the session's
+    counter totals for the parent to fold back in
+    (:func:`repro.telemetry.merge_counters`).  ``trace_path``
+    additionally appends the child's span/counter events to
+    ``<trace_path stem>.<pid>.jsonl`` — one trace file per worker
+    process, safe against pool-level interleaving.
     """
+    import os
+
     scale = SimScale(scale_value)
-    defn = wl.get(name)
-    produced: List[str] = []
-    if defn.cpu_fn is not None:
-        cpu_metrics_for(name, scale)
-        produced.append("cpu")
-    if defn.has_gpu:
-        gpu_trace_for(name, scale)
-        produced.append("gpu")
-    return name, produced
+    started = False
+    if collect or trace_path is not None:
+        # A forked worker inherits the parent's live session (whose
+        # sinks wrap the parent's file descriptors); abandon it before
+        # opening this task's own.
+        telemetry.discard()
+        sink = None
+        if trace_path is not None:
+            root, ext = os.path.splitext(trace_path)
+            child_path = f"{root}.{os.getpid()}{ext or '.jsonl'}"
+            # Pool workers outlive tasks: append so each task's session
+            # extends the worker's per-pid trace instead of clobbering it.
+            sink = telemetry.JsonlSink(child_path, append=True)
+        started = telemetry.start(sink=sink, meta={"worker": os.getpid(),
+                                                   "workload": name})
+    counters: Dict[str, int] = {}
+    try:
+        defn = wl.get(name)
+        produced: List[str] = []
+        if defn.cpu_fn is not None:
+            cpu_metrics_for(name, scale)
+            produced.append("cpu")
+        if defn.has_gpu:
+            gpu_trace_for(name, scale)
+            produced.append("gpu")
+    finally:
+        if started:
+            counters = telemetry.stop()["counters"]
+    return name, produced, counters
 
 
 def feature_matrix(

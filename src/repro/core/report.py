@@ -34,6 +34,30 @@ def _pct(x: float) -> str:
     return f"{x:.1%}"
 
 
+def render_drift(report, limit: int = 20) -> str:
+    """Render a :class:`repro.fidelity.DriftReport` for humans.
+
+    One verdict line, the worst offenders (every failure always shown,
+    then the entries nearest their budget up to ``limit`` rows), and a
+    note for any experiment the baseline could not cover.  Used by
+    ``runner --baseline ...``; kept here so the report layer owns all
+    presentation of fidelity results.
+    """
+    lines = [report.summary_line(), ""]
+    failed = {e.metric for e in report.failures}
+    entries = report.failures + [
+        e for e in report.worst(limit) if e.metric not in failed
+    ]
+    entries = entries[:max(limit, len(report.failures))]
+    lines.append(report.to_table(entries).render())
+    if report.skipped:
+        lines.append("")
+        lines.append(
+            "(no baseline coverage for: " + ", ".join(report.skipped) + ")"
+        )
+    return "\n".join(lines)
+
+
 def _gpu_section(name: str, scale: SimScale) -> List[str]:
     trace = gpu_trace_for(name, scale)
     t28 = TimingModel(GPUConfig.sim_default()).time(trace)

@@ -21,7 +21,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro import telemetry
-from repro.common.config import SimScale
+from repro.common.config import SimScale, config
 from repro.common.tables import Table
 
 
@@ -151,4 +151,33 @@ def run_experiment(
     )
     result.metadata.setdefault("n_tables", len(result.tables))
     result.span_id = sp.id
+    registry_dir = config().registry_dir
+    if registry_dir:
+        _record_invocation(result, scale, registry_dir)
     return result
+
+
+def _record_invocation(
+    result: ExperimentResult, scale: SimScale, registry_dir: str
+) -> None:
+    """Persist one invocation's metrics to the run registry.
+
+    Best-effort observability: a read-only filesystem must not turn a
+    successful experiment into a failure, so registry errors are
+    reported via the result's metadata rather than raised.
+    """
+    from repro.fidelity import RunRegistry, record_from_results
+
+    record = record_from_results(
+        [result],
+        scale.value,
+        kind="experiment",
+        counters=telemetry.counters(),
+        meta={"span_id": result.span_id},
+    )
+    try:
+        path = RunRegistry(registry_dir).save(record)
+    except OSError as exc:
+        result.metadata["registry_error"] = str(exc)
+    else:
+        result.metadata["registry_record"] = str(path)

@@ -14,38 +14,57 @@ therefore incompatible with ``--jobs``.
 
 Observability (:mod:`repro.telemetry`): ``--trace out.jsonl`` writes
 every span and counter as JSONL (``REPRO_TRACE`` is the environment
-fallback); ``--metrics`` prints the aggregated summary tables after the
-run.  Every experiment invocation goes through the typed entry point
-:func:`repro.experiments.run_experiment`, so each one is covered by an
-``experiment`` span nested under the CLI's ``run`` span.
+fallback) — with ``--jobs`` each pool worker appends its own
+``out.<pid>.jsonl`` and its counters are merged into the parent;
+``--metrics`` prints the aggregated summary tables after the run;
+``--profile`` adds span self-time attribution and a peak-memory gauge.
+
+Fidelity (:mod:`repro.fidelity`): every run is recorded in the run
+registry (``--registry DIR``, default ``.repro_runs``; ``--registry
+off`` or ``REPRO_REGISTRY=off`` disables).  ``--baseline paper`` gates
+the run against the pinned golden references and exits nonzero on
+drift — the recommended post-change check; ``--baseline PATH`` gates
+against a prior record (e.g. one written by ``--save-baseline PATH``).
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Optional
 
 from repro import telemetry
-from repro.common.config import SimScale, config
+from repro.common.config import (
+    DEFAULT_REGISTRY_DIR,
+    FALSE_VALUES,
+    SimScale,
+    config,
+    override,
+)
 from repro.experiments import ALL_EXPERIMENTS, run_experiment
 
 
-def _warm_cache(scale: SimScale, jobs: int) -> None:
+def _warm_cache(scale: SimScale, jobs: int,
+                trace_path: Optional[str] = None) -> None:
     """Execute every suite workload across a process pool."""
     from repro.core.features import suite_workloads, warm_workload
 
     names = suite_workloads(dedupe_shared=False)
+    collect = telemetry.active()
     t0 = time.time()
     with telemetry.span("warm_cache", jobs=jobs, workloads=len(names)):
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
-                pool.submit(warm_workload, name, scale.value): name
+                pool.submit(warm_workload, name, scale.value,
+                            trace_path if collect else None, collect): name
                 for name in names
             }
             for fut in as_completed(futures):
-                name, produced = fut.result()
+                name, produced, counters = fut.result()
+                telemetry.merge_counters(counters)
                 print(
                     f"[warm] {name}: {'+'.join(produced) or 'nothing to run'}",
                     file=sys.stderr,
@@ -55,6 +74,32 @@ def _warm_cache(scale: SimScale, jobs: int) -> None:
         f"({jobs} jobs)",
         file=sys.stderr,
     )
+
+
+def _resolve_registry_dir(arg: Optional[str]) -> Optional[str]:
+    """CLI flag beats config; ``off`` (or REPRO_REGISTRY=off) disables."""
+    if arg is None:
+        return config().registry_dir or DEFAULT_REGISTRY_DIR
+    if arg.strip().lower() in FALSE_VALUES:
+        return None
+    return arg
+
+
+def _baseline_metrics(ref: str, scale: SimScale, registry_dir: Optional[str]):
+    """Resolve ``--baseline`` to (metrics, label); raises ValueError."""
+    if ref == "paper":
+        from repro.fidelity import paper_goldens
+
+        return paper_goldens(scale), "paper"
+    from repro.fidelity import RunRegistry
+
+    record = RunRegistry(registry_dir or DEFAULT_REGISTRY_DIR).load(ref)
+    if record.scale != scale.value:
+        raise ValueError(
+            f"baseline {ref} was recorded at scale {record.scale!r}, "
+            f"this run is {scale.value!r} — not comparable"
+        )
+    return record.metrics, f"{record.kind}-{record.run_id}"
 
 
 def main(argv=None) -> int:
@@ -90,6 +135,30 @@ def main(argv=None) -> int:
         help="print aggregated telemetry tables (spans, counters, "
              "gauges) after the run",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="attribute wall time to spans (self vs children) and track "
+             "peak memory; prints the hot-span table after the run "
+             "(REPRO_PROFILE is the environment fallback)",
+    )
+    parser.add_argument(
+        "--registry", metavar="DIR", default=None,
+        help="run-registry directory for persisted run records "
+             f"(default: {DEFAULT_REGISTRY_DIR}; 'off' disables; "
+             "REPRO_REGISTRY is the environment fallback)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH|paper", default=None,
+        help="drift-gate the run: compare reproduced metrics against "
+             "the pinned paper goldens ('paper') or a prior run record "
+             "(a path or a registry run id); exits nonzero on drift "
+             "beyond tolerance",
+    )
+    parser.add_argument(
+        "--save-baseline", metavar="PATH", default=None,
+        help="write this run's record to PATH for use as a future "
+             "--baseline",
+    )
     args = parser.parse_args(argv)
     # Validate flag interactions before touching any global state, so an
     # argparse error cannot leave the artifact cache disabled behind the
@@ -103,33 +172,90 @@ def main(argv=None) -> int:
         set_artifact_cache(None)
     ids = list(ALL_EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     trace_path = args.trace or config().trace
+    profile = args.profile or config().profile
+    registry_dir = _resolve_registry_dir(args.registry)
     started = (
         telemetry.start(
             trace_path=trace_path,
             meta={"argv": ids, "scale": scale.value},
+            profile=profile,
         )
-        if (trace_path or args.metrics)
+        if (trace_path or args.metrics or profile)
         else False
     )
+    exit_code = 0
     try:
-        with telemetry.span("run", scale=scale.value, experiments=len(ids)):
-            if args.jobs > 1:
-                _warm_cache(scale, args.jobs)
-            for exp_id in ids:
-                result = run_experiment(exp_id, scale)
-                print(result.render())
-                print(
-                    f"\n[{exp_id} completed in "
-                    f"{result.metadata['duration_s']:.1f}s]\n"
+        results = []
+        with override(registry_dir=registry_dir):
+            with telemetry.span("run", scale=scale.value,
+                                experiments=len(ids)):
+                if args.jobs > 1:
+                    _warm_cache(scale, args.jobs, trace_path)
+                for exp_id in ids:
+                    result = run_experiment(exp_id, scale)
+                    results.append(result)
+                    print(result.render())
+                    print(
+                        f"\n[{exp_id} completed in "
+                        f"{result.metadata['duration_s']:.1f}s]\n"
+                    )
+        if registry_dir or args.save_baseline or args.baseline:
+            from repro.fidelity import RunRegistry, record_from_results
+
+            record = record_from_results(
+                results, scale.value, kind="run",
+                counters=telemetry.counters(),
+                span_stats=telemetry.span_stats(),
+                meta={"argv": ids},
+            )
+            if registry_dir:
+                path = RunRegistry(registry_dir).save(record)
+                print(f"[registry] {path}", file=sys.stderr)
+            if args.save_baseline:
+                pathlib.Path(args.save_baseline).write_text(
+                    record.to_json(), encoding="utf-8"
                 )
+                print(f"[baseline saved] {args.save_baseline}",
+                      file=sys.stderr)
+            if args.baseline:
+                from repro.core.report import render_drift
+                from repro.fidelity import check_drift
+
+                try:
+                    baseline, label = _baseline_metrics(
+                        args.baseline, scale, registry_dir
+                    )
+                except (ValueError, FileNotFoundError) as exc:
+                    print(f"[drift] error: {exc}", file=sys.stderr)
+                    return 2
+                drift = check_drift(
+                    record.metrics, baseline,
+                    baseline_label=label, scale=scale.value,
+                )
+                print(render_drift(drift))
+                exit_code = drift.exit_code
         if args.metrics:
             for table in telemetry.summary():
                 print(table.render())
                 print()
     finally:
         if started:
-            telemetry.stop()
-    return 0
+            snapshot = telemetry.stop()
+            if profile:
+                if not args.metrics:
+                    from repro.telemetry.profile import (
+                        hot_spans_table,
+                        live_aggregate,
+                    )
+
+                    aggs = live_aggregate(snapshot["span_stats"],
+                                          snapshot["self_stats"])
+                    print(hot_spans_table(aggs).render())
+                peak = snapshot["gauges"].get("profile.mem.peak_kb")
+                if peak is not None:
+                    print(f"[profile] peak traced memory: {peak:.0f} kB",
+                          file=sys.stderr)
+    return exit_code
 
 
 if __name__ == "__main__":

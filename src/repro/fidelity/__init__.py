@@ -1,0 +1,71 @@
+"""Fidelity & regression observability for the reproduction.
+
+The experiment layer *produces* the paper's numbers; this package
+*watches* them.  Three pieces, layered on :mod:`repro.telemetry` and the
+typed :class:`~repro.experiments.ExperimentResult`:
+
+- **Run registry** (:mod:`repro.fidelity.registry`) — every
+  ``run_experiment()`` invocation (and every CLI run) can be persisted
+  as a content-keyed JSON :class:`RunRecord` under a configurable
+  directory, capturing the reproduced metrics, telemetry counter
+  totals, span timings, and wall-clock durations.  Identical results
+  hash to the identical record, so the registry stores *distinct
+  outcomes*, not noise.
+
+- **Golden references** (:mod:`repro.fidelity.goldens`) — pinned
+  reference values for the paper-facing figures (Fig 1 IPC, Fig 3
+  occupancy buckets, Fig 10 miss rates at 4 MB) with per-metric
+  relative tolerances.
+
+- **Drift gate** (:mod:`repro.fidelity.drift`) — diff a run against the
+  paper goldens or any prior :class:`RunRecord` and get a typed
+  :class:`DriftReport` with a pass/warn/fail verdict per metric and a
+  nonzero exit code for CI (``runner ... --baseline paper``).
+
+Entry points::
+
+    from repro.fidelity import (
+        RunRecord, RunRegistry, record_from_results,
+        check_drift, paper_goldens,
+    )
+"""
+
+from __future__ import annotations
+
+from repro.fidelity.drift import (
+    DEFAULT_FAIL_RATIO,
+    DriftReport,
+    MetricDrift,
+    Tolerance,
+    check_drift,
+    tolerance_for,
+)
+from repro.fidelity.goldens import (
+    GOLDEN_EXPERIMENTS,
+    build_goldens,
+    golden_scales,
+    paper_goldens,
+)
+from repro.fidelity.registry import (
+    RunRecord,
+    RunRegistry,
+    flatten_metrics,
+    record_from_results,
+)
+
+__all__ = [
+    "DEFAULT_FAIL_RATIO",
+    "DriftReport",
+    "GOLDEN_EXPERIMENTS",
+    "MetricDrift",
+    "RunRecord",
+    "RunRegistry",
+    "Tolerance",
+    "build_goldens",
+    "check_drift",
+    "flatten_metrics",
+    "golden_scales",
+    "paper_goldens",
+    "record_from_results",
+    "tolerance_for",
+]

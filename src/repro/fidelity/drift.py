@@ -1,0 +1,238 @@
+"""Drift gate: diff reproduced metrics against a reference, with verdicts.
+
+:func:`check_drift` compares a flat ``metric -> value`` mapping (from a
+fresh run) against a baseline (the paper goldens or a prior
+:class:`~repro.fidelity.registry.RunRecord`) and returns a typed
+:class:`DriftReport`:
+
+- **pass** — within the metric's tolerance budget.
+- **warn** — outside the budget but within ``fail_ratio`` times it
+  (drifting, not yet broken).
+- **fail** — beyond the warn band, or present in the baseline but
+  missing from the run.
+- **new**  — produced by the run but absent from the baseline
+  (informational; new workloads/fields are not regressions).
+
+Only experiments covered by *both* sides are compared, so gating a
+``fig1``-only run against the full golden table does not drown in
+"missing" noise for figures that never ran.
+
+Tolerances are resolved per metric path by longest-prefix rule
+(:func:`tolerance_for`); the budget for an expected value ``e`` is
+``max(abs_floor, rel * |e|)``, so near-zero expectations (empty
+occupancy buckets, 0% miss rates) do not demand infinite relative
+precision.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.tables import Table
+
+#: A metric "fails" beyond ``fail_ratio`` times its tolerance budget;
+#: between 1x and this it "warns".
+DEFAULT_FAIL_RATIO = 2.0
+
+
+@dataclasses.dataclass(frozen=True)
+class Tolerance:
+    """Per-metric error budget: relative band with an absolute floor."""
+
+    rel: float = 0.05
+    abs_floor: float = 1e-6
+
+    def budget(self, expected: float) -> float:
+        return max(self.abs_floor, self.rel * abs(expected))
+
+
+#: Longest-prefix tolerance rules for known metric families.  IPC is in
+#: instructions/cycle (hundreds), occupancy buckets are warp fractions,
+#: miss rates are misses per reference — each gets an absolute floor in
+#: its own units.
+TOLERANCE_RULES: Tuple[Tuple[str, Tolerance], ...] = (
+    ("fig1/", Tolerance(rel=0.05, abs_floor=0.5)),
+    ("fig3/", Tolerance(rel=0.05, abs_floor=0.01)),
+    ("fig10/", Tolerance(rel=0.05, abs_floor=5e-4)),
+)
+
+DEFAULT_TOLERANCE = Tolerance()
+
+
+def tolerance_for(metric: str) -> Tolerance:
+    """The tolerance budget for a metric path (longest matching prefix)."""
+    best: Optional[Tuple[str, Tolerance]] = None
+    for prefix, tol in TOLERANCE_RULES:
+        if metric.startswith(prefix):
+            if best is None or len(prefix) > len(best[0]):
+                best = (prefix, tol)
+    return best[1] if best else DEFAULT_TOLERANCE
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricDrift:
+    """One metric's verdict."""
+
+    metric: str
+    expected: Optional[float]
+    actual: Optional[float]
+    error: float          # |actual - expected|; 0.0 for new/missing
+    budget: float         # allowed error for this metric
+    status: str           # "pass" | "warn" | "fail" | "missing" | "new"
+
+    @property
+    def ratio(self) -> float:
+        """Error as a multiple of the budget (sort key for 'worst')."""
+        if self.status == "missing":
+            return float("inf")
+        return self.error / self.budget if self.budget else 0.0
+
+    def row(self) -> List[object]:
+        """Table cells (column order of :meth:`DriftReport.to_table`)."""
+        return [
+            self.metric,
+            "-" if self.expected is None else self.expected,
+            "-" if self.actual is None else self.actual,
+            self.error,
+            self.budget,
+            "inf" if self.ratio == float("inf") else round(self.ratio, 2),
+            self.status,
+        ]
+
+
+@dataclasses.dataclass
+class DriftReport:
+    """Typed outcome of one drift check; renders as a table, gates CI."""
+
+    baseline: str                 # label: "paper", a record id, a path
+    scale: str
+    entries: List[MetricDrift]
+    experiments: List[str]        # experiment ids actually compared
+    skipped: List[str]            # run experiments the baseline lacks
+
+    def _count(self, status: str) -> int:
+        return sum(1 for e in self.entries if e.status == status)
+
+    @property
+    def n_pass(self) -> int:
+        return self._count("pass")
+
+    @property
+    def n_warn(self) -> int:
+        return self._count("warn")
+
+    @property
+    def n_fail(self) -> int:
+        return self._count("fail") + self._count("missing")
+
+    @property
+    def n_new(self) -> int:
+        return self._count("new")
+
+    @property
+    def ok(self) -> bool:
+        return self.n_fail == 0
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    @property
+    def failures(self) -> List[MetricDrift]:
+        return [e for e in self.entries if e.status in ("fail", "missing")]
+
+    def worst(self, n: int = 10) -> List[MetricDrift]:
+        """The n entries closest to (or beyond) their budget."""
+        ranked = [e for e in self.entries if e.status != "new"]
+        ranked.sort(key=lambda e: -e.ratio)
+        return ranked[:n]
+
+    def summary_line(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        parts = [
+            f"{self.n_pass} pass",
+            f"{self.n_warn} warn",
+            f"{self.n_fail} fail",
+        ]
+        if self.n_new:
+            parts.append(f"{self.n_new} new")
+        exps = ",".join(self.experiments) or "none"
+        return (
+            f"drift vs {self.baseline} @ {self.scale} [{exps}]: "
+            f"{verdict} ({', '.join(parts)})"
+        )
+
+    def to_table(
+        self, entries: Optional[Sequence[MetricDrift]] = None
+    ) -> Table:
+        """Render entries (all of them by default) as a plain-text table."""
+        table = Table(
+            f"Drift vs {self.baseline} (scale={self.scale})",
+            ["Metric", "Expected", "Actual", "Error", "Budget",
+             "xBudget", "Status"],
+        )
+        for e in (self.entries if entries is None else entries):
+            table.add_row(e.row())
+        return table
+
+
+def check_drift(
+    metrics: Dict[str, float],
+    baseline: Dict[str, float],
+    baseline_label: str = "baseline",
+    scale: str = "?",
+    experiments: Optional[Sequence[str]] = None,
+    fail_ratio: float = DEFAULT_FAIL_RATIO,
+) -> DriftReport:
+    """Compare a run's metrics against a baseline mapping.
+
+    ``experiments`` optionally restricts the run side (defaults to every
+    experiment appearing in ``metrics``); the comparison then covers the
+    intersection of those with the experiments the baseline knows about.
+    """
+
+    def exp_of(metric: str) -> str:
+        return metric.split("/", 1)[0]
+
+    run_exps = {exp_of(m) for m in metrics}
+    if experiments is not None:
+        run_exps &= set(experiments)
+    base_exps = {exp_of(m) for m in baseline}
+    covered = sorted(run_exps & base_exps)
+    skipped = sorted(run_exps - base_exps)
+    covered_set = set(covered)
+
+    entries: List[MetricDrift] = []
+    for metric in sorted(baseline):
+        if exp_of(metric) not in covered_set:
+            continue
+        expected = baseline[metric]
+        tol = tolerance_for(metric)
+        budget = tol.budget(expected)
+        if metric not in metrics:
+            entries.append(MetricDrift(metric, expected, None, 0.0,
+                                       budget, "missing"))
+            continue
+        actual = metrics[metric]
+        error = abs(actual - expected)
+        if error <= budget:
+            status = "pass"
+        elif error <= fail_ratio * budget:
+            status = "warn"
+        else:
+            status = "fail"
+        entries.append(MetricDrift(metric, expected, actual, error,
+                                   budget, status))
+    for metric in sorted(metrics):
+        if exp_of(metric) in covered_set and metric not in baseline:
+            entries.append(MetricDrift(metric, None, metrics[metric], 0.0,
+                                       tolerance_for(metric).budget(0.0),
+                                       "new"))
+    return DriftReport(
+        baseline=baseline_label,
+        scale=scale,
+        entries=entries,
+        experiments=covered,
+        skipped=skipped,
+    )

@@ -1,0 +1,211 @@
+"""Run registry: content-keyed JSON records of reproduced metrics.
+
+A :class:`RunRecord` is the durable trace of one reproduction: which
+experiments ran at which scale, every numeric metric they produced
+(flattened to ``experiment/workload/field`` paths), the telemetry
+counter totals and span rollups that were live at the time, and the
+wall-clock cost.  :class:`RunRegistry` persists records as one JSON
+file each under a directory, named by a content hash over the
+*fidelity-relevant* fields (scale, experiments, metrics) — re-running
+an unchanged tree rewrites the same file instead of accumulating
+duplicates, so the registry's file list is the history of distinct
+outcomes.
+
+Timestamps and wall-clock durations are provenance, not content: they
+are stored in the record but excluded from the hash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import numbers
+import pathlib
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+#: Bump when the record shape changes; refuses cross-version loads.
+RECORD_VERSION = 1
+
+
+def flatten_metrics(experiment: str, data: Any) -> Dict[str, float]:
+    """Flatten an ``ExperimentResult.data`` tree into metric paths.
+
+    Numeric leaves become ``experiment/key/.../leaf -> float``; dicts
+    recurse, lists/tuples use the element index as the key, and
+    non-numeric leaves (labels, markdown payloads, arrays) are skipped.
+    Booleans are deliberately not numbers here.
+    """
+    out: Dict[str, float] = {}
+
+    def walk(prefix: str, value: Any) -> None:
+        if isinstance(value, bool):
+            return
+        if isinstance(value, numbers.Real):
+            out[prefix] = float(value)
+        elif isinstance(value, dict):
+            for key in value:
+                walk(f"{prefix}/{key}", value[key])
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                walk(f"{prefix}/{i}", item)
+
+    walk(experiment, data)
+    return out
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """One persisted reproduction outcome.
+
+    kind        -- ``"run"`` (a CLI invocation covering several
+                   experiments) or ``"experiment"`` (one
+                   ``run_experiment()`` call).
+    scale       -- problem-size operating point (``SimScale.value``).
+    experiments -- experiment ids covered, in execution order.
+    metrics     -- flattened numeric results (see
+                   :func:`flatten_metrics`).
+    counters    -- telemetry counter totals at record time (empty when
+                   telemetry was off).
+    span_stats  -- telemetry span rollups ``name -> [count, total_s]``.
+    durations   -- per-experiment wall seconds.
+    meta        -- free-form provenance (argv, schema hints).
+    timestamp   -- local wall-clock time of the run (provenance only).
+    run_id      -- content hash; filled by :meth:`stamp`.
+    """
+
+    kind: str
+    scale: str
+    experiments: List[str]
+    metrics: Dict[str, float]
+    counters: Dict[str, int] = dataclasses.field(default_factory=dict)
+    span_stats: Dict[str, List[float]] = dataclasses.field(default_factory=dict)
+    durations: Dict[str, float] = dataclasses.field(default_factory=dict)
+    meta: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    timestamp: str = ""
+    run_id: str = ""
+
+    def content_key(self) -> str:
+        """Hash of the fidelity-relevant content (not timing/provenance)."""
+        payload = json.dumps(
+            {
+                "kind": self.kind,
+                "scale": self.scale,
+                "experiments": list(self.experiments),
+                "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def stamp(self) -> "RunRecord":
+        """Fill ``run_id`` (always) and ``timestamp`` (if empty)."""
+        self.run_id = self.content_key()
+        if not self.timestamp:
+            self.timestamp = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+        return self
+
+    def to_json(self) -> str:
+        body = dataclasses.asdict(self)
+        body["v"] = RECORD_VERSION
+        return json.dumps(body, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        body = json.loads(text)
+        version = body.pop("v", None)
+        if version != RECORD_VERSION:
+            raise ValueError(
+                f"run record version {version!r}, expected {RECORD_VERSION}"
+            )
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(body) - fields
+        if unknown:
+            raise ValueError(f"run record has unknown fields {sorted(unknown)}")
+        return cls(**body)
+
+
+def record_from_results(
+    results: Sequence[Any],
+    scale: str,
+    kind: str = "run",
+    counters: Optional[Dict[str, int]] = None,
+    span_stats: Optional[Dict[str, Iterable[float]]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> RunRecord:
+    """Build a (stamped) record from :class:`ExperimentResult` objects."""
+    metrics: Dict[str, float] = {}
+    durations: Dict[str, float] = {}
+    experiments: List[str] = []
+    for result in results:
+        experiments.append(result.experiment)
+        metrics.update(flatten_metrics(result.experiment, result.data))
+        dur = result.metadata.get("duration_s")
+        if dur is not None:
+            durations[result.experiment] = float(dur)
+    return RunRecord(
+        kind=kind,
+        scale=scale,
+        experiments=experiments,
+        metrics=metrics,
+        counters=dict(counters or {}),
+        span_stats={k: list(v) for k, v in (span_stats or {}).items()},
+        durations=durations,
+        meta=dict(meta or {}),
+    ).stamp()
+
+
+class RunRegistry:
+    """A directory of :class:`RunRecord` JSON files.
+
+    Files are named ``<kind>-<run_id>.json``; the directory is created
+    lazily on first :meth:`save`, so merely constructing a registry (or
+    reading an empty one) touches nothing on disk.
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path]):
+        self.root = pathlib.Path(root)
+
+    def path_for(self, record: RunRecord) -> pathlib.Path:
+        return self.root / f"{record.kind}-{record.run_id}.json"
+
+    def save(self, record: RunRecord) -> pathlib.Path:
+        """Persist (stamping if needed); returns the record's path."""
+        if not record.run_id:
+            record.stamp()
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(record)
+        path.write_text(record.to_json(), encoding="utf-8")
+        return path
+
+    def load(self, ref: Union[str, pathlib.Path]) -> RunRecord:
+        """Load a record by path, or by run id within this registry."""
+        path = pathlib.Path(ref)
+        if not path.is_file():
+            matches = sorted(self.root.glob(f"*-{ref}.json"))
+            if len(matches) != 1:
+                raise FileNotFoundError(
+                    f"no unique record for {ref!r} in {self.root} "
+                    f"({len(matches)} matches)"
+                )
+            path = matches[0]
+        return RunRecord.from_json(path.read_text(encoding="utf-8"))
+
+    def records(self, kind: Optional[str] = None) -> List[RunRecord]:
+        """All records, oldest first (by timestamp, then id)."""
+        if not self.root.is_dir():
+            return []
+        out = [
+            RunRecord.from_json(p.read_text(encoding="utf-8"))
+            for p in sorted(self.root.glob("*.json"))
+        ]
+        if kind is not None:
+            out = [r for r in out if r.kind == kind]
+        out.sort(key=lambda r: (r.timestamp, r.run_id))
+        return out
+
+    def latest(self, kind: Optional[str] = None) -> Optional[RunRecord]:
+        records = self.records(kind)
+        return records[-1] if records else None

@@ -29,12 +29,21 @@ In-process aggregation is always on while a session is active:
 
 The registry is deliberately not thread-safe: the simulator is
 single-threaded per process, and the parallel runner path uses
-*processes* (which simply run with telemetry disabled).
+*processes* — each child runs its own session and writes its own
+``<trace>.<pid>.jsonl``, with counter totals merged back into the
+parent (see :func:`repro.core.features.warm_workload`).
+
+Two companion modules build on the stream: :mod:`.profile` attributes
+wall time to spans (self vs children, ``tracemalloc`` peak gauges via
+``start(profile=True)``) and :mod:`.chrome` exports any JSONL trace to
+the Chrome Trace Event format (:func:`trace_to_chrome`).
 """
 
 from __future__ import annotations
 
+import atexit
 import json
+import os
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -50,17 +59,39 @@ EVENT_KINDS = ("meta", "span_open", "span_close", "counter", "gauge")
 
 
 class JsonlSink:
-    """Writes one JSON object per line to a file, compact separators."""
+    """Writes one JSON object per line to a file, compact separators.
 
-    def __init__(self, path: str):
+    Missing parent directories are created; ``close()`` flushes and is
+    idempotent, and the module registers an ``atexit`` hook so a
+    session that never reaches :func:`stop` (crash, ``os._exit``-free
+    interpreter teardown, pool worker shutdown) still lands its
+    buffered events on disk.  ``append=True`` reopens an existing trace
+    without truncating — the per-process sink of the parallel runner.
+    """
+
+    def __init__(self, path: str, append: bool = False):
         self.path = path
-        self._fh = open(path, "w", encoding="utf-8")
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh = open(path, "a" if append else "w", encoding="utf-8")
 
     def emit(self, event: Dict[str, Any]) -> None:
+        if self._fh.closed:
+            return
         self._fh.write(json.dumps(event, separators=(",", ":")) + "\n")
 
     def close(self) -> None:
-        self._fh.close()
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
 
 class MemorySink:
@@ -81,11 +112,14 @@ class _State:
 
     __slots__ = (
         "sinks", "counters", "gauges", "span_stats", "stack",
-        "next_id", "t0", "api_calls",
+        "next_id", "t0", "api_calls", "profile",
     )
 
-    def __init__(self, sinks):
+    def __init__(self, sinks, profile=None):
         self.sinks = sinks
+        #: Optional :class:`repro.telemetry.profile.SessionProfile`;
+        #: None (the default) keeps span close on the original path.
+        self.profile = profile
         self.counters: Dict[str, int] = {}
         self.gauges: Dict[str, float] = {}
         # name -> [count, total seconds]
@@ -109,7 +143,7 @@ _STATE: Optional[_State] = None
 class Span:
     """A timed region.  Use via :func:`span`; reentrant it is not."""
 
-    __slots__ = ("name", "attrs", "id", "parent_id", "_start")
+    __slots__ = ("name", "attrs", "id", "parent_id", "_start", "_child_s")
 
     def __init__(self, name: str, attrs: Dict[str, Any]):
         self.name = name
@@ -117,6 +151,7 @@ class Span:
         self.id: Optional[str] = None
         self.parent_id: Optional[str] = None
         self._start = 0.0
+        self._child_s = 0.0  # time spent in child spans (profiling only)
 
     def __enter__(self) -> "Span":
         s = _STATE
@@ -160,6 +195,10 @@ class Span:
         stat = s.span_stats.setdefault(self.name, [0, 0.0])
         stat[0] += 1
         stat[1] += dur
+        if s.profile is not None:
+            s.profile.record(self.name, max(0.0, dur - self._child_s))
+            if s.stack:
+                s.stack[-1]._child_s += dur
         s.emit({
             "v": SCHEMA_VERSION,
             "ev": "span_close",
@@ -196,19 +235,44 @@ def active() -> bool:
     return _STATE is not None
 
 
+_ATEXIT_REGISTERED = False
+
+
+def _close_at_exit() -> None:
+    """Last-chance flush: a live session at interpreter exit loses nothing.
+
+    With a balanced span stack this is a full graceful :func:`stop`
+    (counter/gauge totals emitted); with spans still open (a crash mid
+    run) the sinks are flushed and closed so every event already
+    emitted survives — :func:`parse_trace` reads such traces with
+    ``allow_truncated``.
+    """
+    s = _STATE
+    if s is None:
+        return
+    if not s.stack:
+        stop()
+    else:
+        for sink in s.sinks:
+            sink.close()
+
+
 def start(
     sink=None,
     trace_path: Optional[str] = None,
     meta: Optional[Dict[str, Any]] = None,
+    profile: bool = False,
 ) -> bool:
     """Begin a session; returns False (and changes nothing) if one is active.
 
     ``sink`` is any object with ``emit(dict)``/``close()``;
     ``trace_path`` additionally attaches a :class:`JsonlSink`.  With
     neither, events are aggregated in-process only (for
-    :func:`summary`).
+    :func:`summary`).  ``profile=True`` attaches span self-time
+    attribution and a ``tracemalloc`` peak-memory gauge (see
+    :mod:`repro.telemetry.profile`).
     """
-    global _STATE
+    global _STATE, _ATEXIT_REGISTERED
     if _STATE is not None:
         return False
     sinks = []
@@ -216,7 +280,15 @@ def start(
         sinks.append(sink)
     if trace_path:
         sinks.append(JsonlSink(trace_path))
-    _STATE = _State(sinks)
+    session_profile = None
+    if profile:
+        from repro.telemetry.profile import SessionProfile
+
+        session_profile = SessionProfile()
+    if not _ATEXIT_REGISTERED:
+        atexit.register(_close_at_exit)
+        _ATEXIT_REGISTERED = True
+    _STATE = _State(sinks, profile=session_profile)
     event = {"v": SCHEMA_VERSION, "ev": "meta", "clock": "perf_counter"}
     if meta:
         event["attrs"] = meta
@@ -233,12 +305,15 @@ def stop() -> Dict[str, Any]:
     global _STATE
     s = _STATE
     if s is None:
-        return {"counters": {}, "gauges": {}, "span_stats": {}, "api_calls": 0}
+        return {"counters": {}, "gauges": {}, "span_stats": {},
+                "self_stats": {}, "api_calls": 0}
     if s.stack:
         raise RuntimeError(
             f"telemetry stopped with {len(s.stack)} span(s) still open "
             f"(innermost: {s.stack[-1].name!r})"
         )
+    if s.profile is not None:
+        s.gauges.update(s.profile.finish())
     for name in sorted(s.counters):
         s.emit({"v": SCHEMA_VERSION, "ev": "counter", "name": name,
                 "value": s.counters[name]})
@@ -249,12 +324,30 @@ def stop() -> Dict[str, Any]:
         "counters": dict(s.counters),
         "gauges": dict(s.gauges),
         "span_stats": {k: tuple(v) for k, v in s.span_stats.items()},
+        "self_stats": (
+            {} if s.profile is None
+            else {k: tuple(v) for k, v in s.profile.self_stats.items()}
+        ),
         "api_calls": s.api_calls,
     }
     _STATE = None
     for sink in s.sinks:
         sink.close()
     return snapshot
+
+
+def discard() -> None:
+    """Abandon any active session: no totals emitted, sinks left unclosed.
+
+    Fork hygiene.  A forked pool worker inherits the parent's live
+    session, whose sinks wrap the *parent's* file descriptors — writing
+    to or closing them from the child corrupts the parent's trace (and
+    flushes duplicated buffered bytes).  Workers call this before
+    starting their own session; see
+    :func:`repro.core.features.warm_workload`.
+    """
+    global _STATE
+    _STATE = None
 
 
 def span(name: str, /, **attrs) -> Any:
@@ -302,6 +395,21 @@ def gauge(name: str, value: float) -> None:
     s.gauges[name] = float(value)
 
 
+def merge_counters(totals: Dict[str, int]) -> None:
+    """Fold another session's counter totals into this one (no-op when off).
+
+    Used by the parallel runner: each pool worker returns its session's
+    counter snapshot, and the parent merges them so :func:`summary` and
+    the emitted totals cover child work too.
+    """
+    s = _STATE
+    if s is None:
+        return
+    for name, value in totals.items():
+        s.api_calls += 1
+        s.counters[name] = s.counters.get(name, 0) + value
+
+
 def counter_value(name: str) -> int:
     """Current value of a counter (0 when absent or disabled)."""
     s = _STATE
@@ -312,6 +420,19 @@ def counters() -> Dict[str, int]:
     """Snapshot of all counters (empty when disabled)."""
     s = _STATE
     return {} if s is None else dict(s.counters)
+
+
+def span_stats() -> Dict[str, Tuple[int, float]]:
+    """Snapshot of span rollups ``name -> (count, total_s)`` so far.
+
+    Covers only *closed* spans, like the session snapshot; empty while
+    disabled.
+    """
+    s = _STATE
+    return (
+        {} if s is None
+        else {k: (int(v[0]), v[1]) for k, v in s.span_stats.items()}
+    )
 
 
 def current_span_id() -> Optional[str]:
@@ -347,32 +468,50 @@ def summary() -> List[Table]:
         for name in sorted(s.gauges):
             t.add_row([name, s.gauges[name]])
         tables.append(t)
+    if s.profile is not None and s.profile.self_stats:
+        from repro.telemetry.profile import hot_spans_table, live_aggregate
+
+        tables.append(
+            hot_spans_table(live_aggregate(s.span_stats,
+                                           s.profile.self_stats))
+        )
     return tables
 
 
-def parse_trace(path: str) -> List[Dict[str, Any]]:
+def parse_trace(path: str, allow_truncated: bool = False) -> List[Dict[str, Any]]:
     """Load a JSONL trace file back into event dicts, validating shape.
 
     Every line must parse as JSON, carry the schema version, and name a
     known event kind — the round-trip guarantee the test suite pins.
+    An empty file is a valid empty trace.  ``allow_truncated`` forgives
+    exactly one malformed *final* line (a writer killed mid-write);
+    malformed JSON anywhere else is always an error.
     """
     events = []
     with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line:
-                continue
+        lines = fh.read().splitlines()
+    numbered = [(i, l.strip()) for i, l in enumerate(lines, 1) if l.strip()]
+    for pos, (lineno, line) in enumerate(numbered):
+        last = pos == len(numbered) - 1
+        try:
             event = json.loads(line)
-            if event.get("v") != SCHEMA_VERSION:
-                raise ValueError(
-                    f"{path}:{lineno}: schema version {event.get('v')!r}, "
-                    f"expected {SCHEMA_VERSION}"
-                )
-            if event.get("ev") not in EVENT_KINDS:
-                raise ValueError(
-                    f"{path}:{lineno}: unknown event kind {event.get('ev')!r}"
-                )
-            events.append(event)
+        except ValueError:
+            if allow_truncated and last:
+                break
+            raise ValueError(
+                f"{path}:{lineno}: malformed JSON "
+                f"({'truncated trace?' if last else 'corrupt line'})"
+            ) from None
+        if event.get("v") != SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}:{lineno}: schema version {event.get('v')!r}, "
+                f"expected {SCHEMA_VERSION}"
+            )
+        if event.get("ev") not in EVENT_KINDS:
+            raise ValueError(
+                f"{path}:{lineno}: unknown event kind {event.get('ev')!r}"
+            )
+        events.append(event)
     return events
 
 
@@ -393,3 +532,13 @@ def diff_counters(
         if va != vb:
             out.append((name, va, vb))
     return out
+
+
+# Companion modules (import at the bottom: both import nothing from this
+# module at import time, so the package namespace stays one-stop).
+from repro.telemetry.chrome import trace_to_chrome  # noqa: E402
+from repro.telemetry.profile import (  # noqa: E402
+    aggregate_spans,
+    hot_spans_table,
+    profile_trace,
+)

@@ -1,0 +1,97 @@
+"""Export JSONL telemetry traces to the Chrome Trace Event format.
+
+``chrome://tracing`` and https://ui.perfetto.dev consume the *Trace
+Event Format* — a JSON object with a ``traceEvents`` array.  The
+mapping from the repro schema (docs/TELEMETRY.md) is:
+
+==============  =======================================================
+repro event     Chrome event
+==============  =======================================================
+``meta``        ``M`` (process/thread name metadata)
+``span_open``   paired with its close into one ``X`` (complete) event;
+                a span that never closed becomes a ``B`` (begin) event
+``span_close``  consumed by the pairing above
+``counter``     ``C`` (counter) sample at the end of the timeline
+``gauge``       ``C`` sample at the end of the timeline
+==============  =======================================================
+
+Timestamps are microseconds (the format's unit) measured from session
+start; span attributes travel in ``args``.  Everything is a plain
+structural transform of an already-parsed trace, so a trace captured by
+a crashed session (``allow_truncated``) still exports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+
+def chrome_events(
+    events: List[Dict[str, Any]], pid: int = 0
+) -> List[Dict[str, Any]]:
+    """Transform parsed repro events into Trace Event dicts."""
+    out: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": "repro"},
+    }]
+    opens: Dict[str, Dict[str, Any]] = {}
+    closes: Dict[str, Dict[str, Any]] = {}
+    end_us = 0.0
+    for event in events:
+        ev = event.get("ev")
+        if ev == "span_open":
+            opens[event["id"]] = event
+            end_us = max(end_us, event["ts"] * 1e6)
+        elif ev == "span_close":
+            closes[event["id"]] = event
+    for span_id, open_ev in opens.items():
+        ts_us = open_ev["ts"] * 1e6
+        args = dict(open_ev.get("attrs", {}))
+        args["span_id"] = span_id
+        close_ev = closes.get(span_id)
+        if close_ev is None:
+            out.append({
+                "name": open_ev["name"], "ph": "B", "ts": ts_us,
+                "pid": pid, "tid": 0, "args": args,
+            })
+            continue
+        dur_us = close_ev["dur_s"] * 1e6
+        end_us = max(end_us, ts_us + dur_us)
+        if not close_ev.get("ok", True):
+            args["error"] = True
+        out.append({
+            "name": open_ev["name"], "ph": "X", "ts": ts_us,
+            "dur": dur_us, "pid": pid, "tid": 0, "args": args,
+        })
+    for event in events:
+        if event.get("ev") in ("counter", "gauge"):
+            out.append({
+                "name": event["name"], "ph": "C", "ts": end_us,
+                "pid": pid, "tid": 0,
+                "args": {"value": event["value"]},
+            })
+    return out
+
+
+def trace_to_chrome(trace_path: str, out_path: Optional[str] = None) -> str:
+    """Convert a JSONL trace file; returns the output path.
+
+    ``out_path`` defaults to the trace path with a ``.chrome.json``
+    suffix.  Truncated final lines (crashed writer) are tolerated.
+    """
+    from repro.telemetry import SCHEMA_VERSION, parse_trace
+
+    events = parse_trace(trace_path, allow_truncated=True)
+    if out_path is None:
+        out_path = os.path.splitext(trace_path)[0] + ".chrome.json"
+    document = {
+        "traceEvents": chrome_events(events),
+        "displayTimeUnit": "ms",
+        "otherData": {"source": trace_path, "schema_version": SCHEMA_VERSION},
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, separators=(",", ":"))
+        fh.write("\n")
+    return out_path

@@ -4,8 +4,12 @@ The artifact cache (:mod:`repro.core.artifacts`) defaults to
 ``.repro_cache`` under the current directory; during the test session it
 is redirected to a throwaway temporary directory so tests exercise the
 persistence code without polluting the working tree or leaking state
-between test runs.
+between test runs.  The run registry (:mod:`repro.fidelity.registry`)
+gets the same treatment via ``REPRO_REGISTRY`` — the runner CLI would
+otherwise default it to ``.repro_runs`` in the working tree.
 """
+
+import os
 
 import pytest
 
@@ -18,3 +22,14 @@ def _isolated_artifact_cache(tmp_path_factory):
     artifacts.set_artifact_cache(artifacts.ArtifactCache(root))
     yield
     artifacts.set_artifact_cache(None, clear=True)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_run_registry(tmp_path_factory):
+    prev = os.environ.get("REPRO_REGISTRY")
+    os.environ["REPRO_REGISTRY"] = str(tmp_path_factory.mktemp("repro_runs"))
+    yield
+    if prev is None:
+        os.environ.pop("REPRO_REGISTRY", None)
+    else:
+        os.environ["REPRO_REGISTRY"] = prev

@@ -219,6 +219,68 @@ class TestJsonl:
             ("x", 1, 0), ("z", 0, 3)
         ]
 
+    def test_diff_counters_empty_traces(self):
+        assert telemetry.diff_counters([], []) == []
+        a = [{"ev": "counter", "name": "x", "value": 1}]
+        assert telemetry.diff_counters(a, []) == [("x", 1, 0)]
+        assert telemetry.diff_counters([], a) == [("x", 0, 1)]
+
+
+class TestParseTraceEdges:
+    """Hostile trace files: truncation, mixed schemas, empty traces."""
+
+    def _valid_line(self, **extra):
+        event = {"v": telemetry.SCHEMA_VERSION, "ev": "meta"}
+        event.update(extra)
+        return json.dumps(event)
+
+    def test_empty_file_is_an_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert telemetry.parse_trace(str(path)) == []
+        path.write_text("\n\n")  # blank lines only
+        assert telemetry.parse_trace(str(path)) == []
+
+    def test_truncated_final_line_strict_vs_forgiving(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            self._valid_line() + "\n"
+            + '{"v":1,"ev":"span_open","id":"s1","na'  # killed mid-write
+        )
+        with pytest.raises(ValueError, match="truncated trace"):
+            telemetry.parse_trace(str(path))
+        events = telemetry.parse_trace(str(path), allow_truncated=True)
+        assert len(events) == 1  # good prefix survives, bad tail dropped
+        assert events[0]["ev"] == "meta"
+
+    def test_truncated_middle_line_always_errors(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            self._valid_line() + "\n"
+            + '{"v":1,"ev":"span_open","id":"s1","na\n'
+            + self._valid_line() + "\n"
+        )
+        # Corruption followed by valid lines is not truncation — the
+        # forgiving mode must still refuse it.
+        with pytest.raises(ValueError, match="corrupt line"):
+            telemetry.parse_trace(str(path), allow_truncated=True)
+
+    def test_mixed_schema_versions_refused(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            self._valid_line() + "\n"
+            + json.dumps({"v": telemetry.SCHEMA_VERSION + 1, "ev": "meta"})
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="schema version"):
+            telemetry.parse_trace(str(path))
+
+    def test_error_names_file_and_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(self._valid_line() + "\n" + '{"v": 2, "ev": "meta"}\n')
+        with pytest.raises(ValueError, match=r"t\.jsonl:2"):
+            telemetry.parse_trace(str(path))
+
 
 # ----------------------------------------------------------------------
 # Counter correctness on known executions
