@@ -60,7 +60,9 @@ def render_drift(report, limit: int = 20) -> str:
 
 def _gpu_section(name: str, scale: SimScale) -> List[str]:
     trace = gpu_trace_for(name, scale)
-    t28 = TimingModel(GPUConfig.sim_default()).time(trace)
+    model28 = TimingModel(GPUConfig.sim_default())
+    prof = model28.profile(trace)
+    t28 = model28.time(trace)
     t8 = TimingModel(GPUConfig.sim_8sm()).time(trace)
     div = analyze_divergence(trace)
     share = analyze_gpu_sharing(trace)
@@ -81,8 +83,20 @@ def _gpu_section(name: str, scale: SimScale) -> List[str]:
         f"perfect-reconvergence bound {div.divergence_speedup_bound:.2f}x)",
         f"- Inter-block sharing: {_pct(share.frac_lines_shared)} of lines, "
         f"{_pct(share.shared_traffic_ratio)} of traffic",
-        "",
     ]
+    hot = prof.hot_kernels(1)
+    if hot and prof.total_cycles:
+        roll = hot[0]
+        stall = roll.stall_mix()
+        lines.append(
+            f"- Hot kernel: `{roll.kernel_name}` "
+            f"({_pct(roll.cycles / prof.total_cycles)} of cycles; "
+            f"stalls {_pct(stall['issue'])} issue / "
+            f"{_pct(stall['bandwidth'])} bandwidth / "
+            f"{_pct(stall['latency'])} latency; "
+            f"roofline {prof.roofline()}-bound)"
+        )
+    lines.append("")
     return lines
 
 

@@ -138,6 +138,10 @@ def run_experiment(
         "experiment", experiment=experiment, scale=scale.value
     ) as sp:
         result = driver(scale)
+        # Timestamped cumulative totals per experiment boundary: gives
+        # JSONL traces a counter time series (rendered as stepped "C"
+        # tracks by the Chrome exporter) at one sample per experiment.
+        telemetry.sample_counters()
     if not isinstance(result, ExperimentResult):
         raise TypeError(
             f"driver for {experiment!r} returned {type(result).__name__}, "

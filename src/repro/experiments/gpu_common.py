@@ -12,7 +12,13 @@ from typing import Dict, List
 
 from repro.common.config import SimScale
 from repro.core.features import gpu_trace_for
-from repro.gpusim import GPUConfig, KernelTrace, TimingModel, TimingResult
+from repro.gpusim import (
+    AppProfile,
+    GPUConfig,
+    KernelTrace,
+    TimingModel,
+    TimingResult,
+)
 from repro.workloads import base as wl
 
 #: Paper's bar-chart ordering (Figs. 1-5).
@@ -34,6 +40,14 @@ def time_all(
 ) -> Dict[str, TimingResult]:
     model = TimingModel(config)
     return {name: model.time(tr) for name, tr in trace_map.items()}
+
+
+def profile_all(
+    trace_map: Dict[str, KernelTrace], config: GPUConfig
+) -> Dict[str, "AppProfile"]:
+    """Counter-set profile (``runner --gpu-profile``) of every app."""
+    model = TimingModel(config)
+    return {name: model.profile(tr) for name, tr in trace_map.items()}
 
 
 def short_name(name: str) -> str:

@@ -25,6 +25,12 @@ off`` or ``REPRO_REGISTRY=off`` disables).  ``--baseline paper`` gates
 the run against the pinned golden references and exits nonzero on
 drift — the recommended post-change check; ``--baseline PATH`` gates
 against a prior record (e.g. one written by ``--save-baseline PATH``).
+
+``--gpu-profile`` (usable alone, no experiment ids needed) profiles the
+simulated GPU itself: per-kernel counter sets, bit-exact stall
+attribution, roofline tables, a ``gpuprof`` registry record whose
+counters drift-gate like figure data, and a simulated-cycles Chrome
+timeline — see ``docs/GPUPROF.md``.
 """
 
 from __future__ import annotations
@@ -76,6 +82,46 @@ def _warm_cache(scale: SimScale, jobs: int,
     )
 
 
+def _gpu_profile(scale: SimScale):
+    """Run the simulated-GPU profiler over every GPU workload.
+
+    Prints the suite hot-kernel table plus each app's stall-attribution
+    and counter-ladder tables; returns ``{app: AppProfile}``.
+    """
+    from repro.experiments.gpu_common import profile_all, traces
+    from repro.gpusim import GPUConfig
+    from repro.gpusim.profiler import suite_table
+
+    with telemetry.span("gpu_profile_suite", scale=scale.value):
+        profiles = profile_all(traces(scale), GPUConfig.sim_default())
+    print(suite_table(list(profiles.values())).render())
+    print()
+    for prof in profiles.values():
+        print(prof.kernel_table().render())
+        print()
+        print(prof.counter_table().render())
+        print()
+    return profiles
+
+
+def _gpu_timeline_path(
+    trace_path: Optional[str], registry_dir: Optional[str], run_id: str
+) -> Optional[str]:
+    """Where the simulated-cycles Chrome timeline lands.
+
+    Next to the telemetry trace when one is being written, else in the
+    registry; with both off there is nowhere durable to put it.
+    """
+    if trace_path:
+        root = pathlib.Path(trace_path)
+        return str(root.with_name(root.stem + ".gpu.chrome.json"))
+    if registry_dir:
+        return str(
+            pathlib.Path(registry_dir) / f"gpuprof-{run_id}.chrome.json"
+        )
+    return None
+
+
 def _resolve_registry_dir(arg: Optional[str]) -> Optional[str]:
     """CLI flag beats config; ``off`` (or REPRO_REGISTRY=off) disables."""
     if arg is None:
@@ -107,9 +153,10 @@ def main(argv=None) -> int:
         description="Regenerate the paper's tables and figure data."
     )
     parser.add_argument(
-        "experiments", nargs="+",
+        "experiments", nargs="*",
         help=f"experiment ids ({', '.join(ALL_EXPERIMENTS)}), "
-             "'report' (full Markdown characterization), or 'all'",
+             "'report' (full Markdown characterization), or 'all'; "
+             "may be omitted with --gpu-profile",
     )
     parser.add_argument(
         "--scale", default="small", choices=[s.value for s in SimScale],
@@ -159,12 +206,22 @@ def main(argv=None) -> int:
         help="write this run's record to PATH for use as a future "
              "--baseline",
     )
+    parser.add_argument(
+        "--gpu-profile", action="store_true",
+        help="profile the simulated GPU after the experiments: prints "
+             "per-kernel counter sets, stall attribution, and roofline "
+             "tables for every GPU workload, writes a gpuprof record to "
+             "the registry (drift-gated by --baseline like figure "
+             "data), and exports a simulated-cycles Chrome timeline",
+    )
     args = parser.parse_args(argv)
     # Validate flag interactions before touching any global state, so an
     # argparse error cannot leave the artifact cache disabled behind the
     # caller's back.
     if args.jobs > 1 and args.no_cache:
         parser.error("--jobs needs the artifact cache; drop --no-cache")
+    if not args.experiments and not args.gpu_profile:
+        parser.error("give at least one experiment id (or --gpu-profile)")
     scale = SimScale(args.scale)
     if args.no_cache:
         from repro.core.artifacts import set_artifact_cache
@@ -186,6 +243,7 @@ def main(argv=None) -> int:
     exit_code = 0
     try:
         results = []
+        gpu_profiles = None
         with override(registry_dir=registry_dir):
             with telemetry.span("run", scale=scale.value,
                                 experiments=len(ids)):
@@ -199,7 +257,10 @@ def main(argv=None) -> int:
                         f"\n[{exp_id} completed in "
                         f"{result.metadata['duration_s']:.1f}s]\n"
                     )
-        if registry_dir or args.save_baseline or args.baseline:
+                if args.gpu_profile:
+                    gpu_profiles = _gpu_profile(scale)
+        if (registry_dir or args.save_baseline or args.baseline
+                or gpu_profiles is not None):
             from repro.fidelity import RunRegistry, record_from_results
 
             record = record_from_results(
@@ -208,6 +269,38 @@ def main(argv=None) -> int:
                 span_stats=telemetry.span_stats(),
                 meta={"argv": ids},
             )
+            if gpu_profiles is not None:
+                from repro.fidelity import RunRecord
+                from repro.gpusim.profiler import suite_metrics
+
+                prof_metrics = suite_metrics(list(gpu_profiles.values()))
+                gpu_record = RunRecord(
+                    kind="gpuprof", scale=scale.value,
+                    experiments=["gpuprof"], metrics=prof_metrics,
+                    counters=telemetry.counters(),
+                    meta={"config": "sim-default",
+                          "apps": sorted(gpu_profiles)},
+                ).stamp()
+                # Counter drift gates exactly like figure drift: fold
+                # the gpuprof family into the run record so
+                # --save-baseline/--baseline roundtrips cover it.
+                record.metrics.update(prof_metrics)
+                record.experiments.append("gpuprof")
+                record.stamp()
+                if registry_dir:
+                    gpath = RunRegistry(registry_dir).save(gpu_record)
+                    print(f"[gpuprof] {gpath}", file=sys.stderr)
+                timeline = _gpu_timeline_path(
+                    trace_path, registry_dir, gpu_record.run_id
+                )
+                if timeline:
+                    from repro.telemetry.chrome import profiles_to_chrome
+
+                    profiles_to_chrome(
+                        list(gpu_profiles.values()), timeline
+                    )
+                    print(f"[gpuprof timeline] {timeline}",
+                          file=sys.stderr)
             if registry_dir:
                 path = RunRegistry(registry_dir).save(record)
                 print(f"[registry] {path}", file=sys.stderr)

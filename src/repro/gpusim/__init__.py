@@ -17,7 +17,21 @@ from repro.gpusim.dsl import BlockCtx
 from repro.gpusim.gpu import BLOCK_BATCHES, GPU, batch_enabled
 from repro.gpusim.isa import Space
 from repro.gpusim.memory import DeviceArray
-from repro.gpusim.timing import ConcurrentTiming, TimingModel, TimingResult
+from repro.gpusim.profiler import (
+    AppProfile,
+    CounterSet,
+    KernelRollup,
+    attribute_stalls,
+    machine_balance,
+    profile_trace,
+)
+from repro.gpusim.timing import (
+    ConcurrentTiming,
+    LaunchTiming,
+    TimingModel,
+    TimingResult,
+    classify_bound,
+)
 from repro.gpusim.trace import KernelTrace, LaunchTrace
 from repro.gpusim.trace_io import load_trace, save_trace
 
@@ -32,7 +46,15 @@ __all__ = [
     "DeviceArray",
     "TimingModel",
     "TimingResult",
+    "LaunchTiming",
     "ConcurrentTiming",
+    "classify_bound",
+    "AppProfile",
+    "CounterSet",
+    "KernelRollup",
+    "attribute_stalls",
+    "machine_balance",
+    "profile_trace",
     "KernelTrace",
     "LaunchTrace",
     "DivergenceStats",

@@ -238,6 +238,10 @@ class LaunchBuffer:
         seqs = np.concatenate(seq_parts)
         stores = np.concatenate(store_parts)
         order = np.lexsort((seqs, blocks))
+        # Off-chip transactions committed by the batched path; pairs with
+        # the scalar path's per-warp recording so the profiler's counter
+        # sets can be cross-checked against live telemetry totals.
+        telemetry.count("gpusim.batch.transactions", int(addrs.size))
         launch.record_transaction_stream(
             addrs[order], blocks[order], stores[order]
         )

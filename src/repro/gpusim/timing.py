@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -54,6 +54,83 @@ class LaunchTiming:
     resident_warps: int
     dram_bytes: int
     bound: str
+    #: Cycles excluding the launch overhead; ``cycles`` is always the
+    #: float sum ``launch_overhead_cycles + body_cycles``.  Stored (not
+    #: recomputed by subtraction) so the profiler's stall attribution
+    #: can sum bit-exactly to it.
+    body_cycles: float = 0.0
+    #: Gap between the binding component and the runner-up; small
+    #: margins mean the ``bound`` label is fragile.
+    bound_margin: float = 0.0
+
+
+def classify_bound(
+    issue_cycles: float, bandwidth_cycles: float, latency_cycles: float
+) -> Tuple[str, float, float]:
+    """Classify a launch's bottleneck; returns (bound, body, margin).
+
+    ``body`` is the max of the three components.  On *exact* ties the
+    precedence is deterministic and documented: **issue > latency >
+    bandwidth**.  Rationale: an issue tie means the SMs' front end is
+    already saturated, so adding bandwidth or hiding latency cannot
+    help; a latency/bandwidth tie is attributed to latency because the
+    busiest-channel service time is a lower bound that concurrency
+    cannot shrink, whereas exposed latency responds to occupancy — the
+    more actionable diagnosis.  ``margin`` is ``body`` minus the
+    second-largest component (0.0 on a tie).
+    """
+    body = max(issue_cycles, bandwidth_cycles, latency_cycles)
+    for bound, component in (
+        ("issue", issue_cycles),
+        ("latency", latency_cycles),
+        ("bandwidth", bandwidth_cycles),
+    ):
+        if component == body:
+            break
+    ranked = sorted((issue_cycles, bandwidth_cycles, latency_cycles),
+                    reverse=True)
+    return bound, body, ranked[0] - ranked[1]
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheLadder:
+    """What :meth:`TimingModel._filter_through_caches` measured.
+
+    The transaction stream enters at the top (``total`` accesses) and
+    drains through whichever levels the configuration enables; whatever
+    misses everywhere lands in ``dram_addrs``.  ``avg_latency`` is the
+    access-weighted mean latency of the ladder.
+    """
+
+    dram_addrs: np.ndarray
+    avg_latency: float
+    total: int = 0
+    l1_accesses: int = 0
+    l1_hits: int = 0
+    l2_accesses: int = 0
+    l2_hits: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class PriceDetail:
+    """Intermediate quantities of one launch pricing.
+
+    Everything :meth:`TimingModel.time_launch` computes on the way to a
+    :class:`LaunchTiming` that the per-launch profiler
+    (:mod:`repro.gpusim.profiler`) needs but the timing result does not
+    carry: the occupancy solution, the cache-filter ladder, and the
+    per-channel DRAM transaction counts.
+    """
+
+    occupancy: Dict[str, int]
+    effective_sms: int
+    actual_ctas: int
+    actual_warps: int
+    waves: int
+    issue_slots: float
+    issue_stall: float
+    ladder: CacheLadder
+    channel_counts: np.ndarray
 
 
 @dataclasses.dataclass
@@ -127,19 +204,19 @@ class TimingModel:
         }
 
     # ------------------------------------------------------------------
-    def _channel_busy(
-        self, addrs: np.ndarray, weights: Optional[np.ndarray] = None
-    ) -> float:
-        """Busiest channel's service time, in core cycles."""
+    def _channel_counts(self, addrs: np.ndarray) -> np.ndarray:
+        """Per-channel DRAM transaction counts (address-interleaved)."""
         cfg = self.config
         if addrs.size == 0:
-            return 0.0
+            return np.zeros(cfg.n_mem_channels, dtype=np.int64)
         channels = (addrs >> 8) % cfg.n_mem_channels
-        counts = np.bincount(
-            channels.astype(np.int64),
-            weights=weights,
-            minlength=cfg.n_mem_channels,
+        return np.bincount(
+            channels.astype(np.int64), minlength=cfg.n_mem_channels
         )
+
+    def _busy_from_counts(self, counts: np.ndarray) -> float:
+        """Busiest channel's service time, in core cycles."""
+        cfg = self.config
         cycles_per_tx = (
             TRANSACTION_BYTES
             / (cfg.bus_width_bytes * 2)
@@ -147,10 +224,27 @@ class TimingModel:
         )
         return float(counts.max() * cycles_per_tx)
 
+    def _channel_busy(
+        self, addrs: np.ndarray, weights: Optional[np.ndarray] = None
+    ) -> float:
+        """Busiest channel's service time, in core cycles."""
+        cfg = self.config
+        if addrs.size == 0:
+            return 0.0
+        if weights is None:
+            return self._busy_from_counts(self._channel_counts(addrs))
+        channels = (addrs >> 8) % cfg.n_mem_channels
+        counts = np.bincount(
+            channels.astype(np.int64),
+            weights=weights,
+            minlength=cfg.n_mem_channels,
+        )
+        return self._busy_from_counts(counts)
+
     def _filter_through_caches(
         self, launch: LaunchTrace, effective_sms: int
-    ) -> tuple:
-        """Run transactions through L1/L2; returns (dram_addrs, avg_latency).
+    ) -> CacheLadder:
+        """Run transactions through L1/L2; returns the :class:`CacheLadder`.
 
         L1s are per-SM (CTAs map to SMs round-robin); the L2 is unified.
         Without caches, all transactions go to DRAM at full latency.
@@ -158,9 +252,11 @@ class TimingModel:
         cfg = self.config
         addrs, blocks, stores = launch.transactions()
         if addrs.size == 0:
-            return addrs, float(cfg.mem_latency_cycles)
+            return CacheLadder(addrs, float(cfg.mem_latency_cycles))
         if not cfg.has_l1 and not cfg.has_l2:
-            return addrs, float(cfg.mem_latency_cycles)
+            return CacheLadder(
+                addrs, float(cfg.mem_latency_cycles), total=int(addrs.size)
+            )
 
         total = addrs.size
         l1_hits = 0
@@ -200,10 +296,19 @@ class TimingModel:
             + l2_hits * cfg.l2_latency_cycles
             + dram.size * cfg.mem_latency_cycles
         ) / total
-        return dram, float(lat)
+        return CacheLadder(
+            dram,
+            float(lat),
+            total=int(total),
+            l1_accesses=int(total) if cfg.has_l1 else 0,
+            l1_hits=l1_hits,
+            l2_accesses=int(survivors.size) if cfg.has_l2 else 0,
+            l2_hits=l2_hits,
+        )
 
     # ------------------------------------------------------------------
-    def time_launch(self, launch: LaunchTrace) -> LaunchTiming:
+    def _price(self, launch: LaunchTrace) -> Tuple[LaunchTiming, PriceDetail]:
+        """Price one launch, keeping the intermediates for the profiler."""
         cfg = self.config
         occ = self.occupancy(launch)
         n_blocks = max(1, launch.n_blocks)
@@ -230,25 +335,21 @@ class TimingModel:
         issue_cycles = issue_slots / effective_sms * issue_stall
 
         # Bandwidth-bound component (through caches when configured).
-        dram_addrs, avg_latency = self._filter_through_caches(launch, effective_sms)
-        bandwidth_cycles = self._channel_busy(dram_addrs)
+        ladder = self._filter_through_caches(launch, effective_sms)
+        channel_counts = self._channel_counts(ladder.dram_addrs)
+        bandwidth_cycles = self._busy_from_counts(channel_counts)
 
         # Latency-bound component: per-SM transaction latency divided by
         # warp concurrency and per-warp MLP.
         tx_per_sm = launch.n_transactions / effective_sms
         concurrency = actual_warps
-        latency_cycles = tx_per_sm * avg_latency / (concurrency * _MLP)
+        latency_cycles = tx_per_sm * ladder.avg_latency / (concurrency * _MLP)
 
-        body = max(issue_cycles, bandwidth_cycles, latency_cycles)
-        bound = "issue"
-        if bandwidth_cycles == body and bandwidth_cycles > 0:
-            bound = "bandwidth"
-        if latency_cycles == body and latency_cycles > 0:
-            bound = "latency"
-        if issue_cycles == body:
-            bound = "issue"
+        bound, body, margin = classify_bound(
+            issue_cycles, bandwidth_cycles, latency_cycles
+        )
         cycles = cfg.launch_overhead_cycles + body
-        return LaunchTiming(
+        timing = LaunchTiming(
             kernel_name=launch.kernel_name,
             cycles=cycles,
             issue_cycles=issue_cycles,
@@ -256,9 +357,27 @@ class TimingModel:
             latency_cycles=latency_cycles,
             ctas_per_sm=occ["ctas_per_sm"],
             resident_warps=actual_warps,
-            dram_bytes=int(dram_addrs.size) * TRANSACTION_BYTES,
+            dram_bytes=int(ladder.dram_addrs.size) * TRANSACTION_BYTES,
             bound=bound,
+            body_cycles=body,
+            bound_margin=margin,
         )
+        detail = PriceDetail(
+            occupancy=occ,
+            effective_sms=effective_sms,
+            actual_ctas=actual_ctas,
+            actual_warps=actual_warps,
+            waves=waves,
+            issue_slots=issue_slots,
+            issue_stall=issue_stall,
+            ladder=ladder,
+            channel_counts=channel_counts,
+        )
+        return timing, detail
+
+    def time_launch(self, launch: LaunchTrace) -> LaunchTiming:
+        timing, _ = self._price(launch)
+        return timing
 
     def time(self, trace: KernelTrace) -> TimingResult:
         with telemetry.span("timing", app=trace.app_name,
@@ -271,6 +390,17 @@ class TimingModel:
             thread_insts=trace.thread_insts,
             dram_bytes=sum(l.dram_bytes for l in launches),
         )
+
+    def profile(self, trace: KernelTrace) -> "AppProfile":
+        """Price every launch *and* collect its hardware-style counters.
+
+        Returns a :class:`repro.gpusim.profiler.AppProfile`; the timing
+        numbers inside are bit-identical to :meth:`time` (both paths go
+        through :meth:`_price`).
+        """
+        from repro.gpusim.profiler import profile_trace
+
+        return profile_trace(trace, self)
 
     # ------------------------------------------------------------------
     # Concurrent kernel execution (paper future work, Section VII)

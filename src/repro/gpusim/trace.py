@@ -159,6 +159,18 @@ class LaunchTrace:
     def total_mem_warp_insts(self) -> int:
         return sum(self.mem_warp_insts.values())
 
+    @property
+    def global_warp_insts(self) -> int:
+        """Warp-level accesses that target off-chip address spaces.
+
+        GLOBAL plus LOCAL (register-spill) traffic — the denominator of
+        the profiler's coalescing-efficiency counter: perfectly
+        coalesced code issues one transaction per such access.
+        """
+        return (
+            self.mem_warp_insts[Space.GLOBAL] + self.mem_warp_insts[Space.LOCAL]
+        )
+
 
 class KernelTrace:
     """All launches of one application run, with aggregate views.

@@ -314,12 +314,13 @@ def stop() -> Dict[str, Any]:
         )
     if s.profile is not None:
         s.gauges.update(s.profile.finish())
+    ts = round(time.perf_counter() - s.t0, 6)
     for name in sorted(s.counters):
         s.emit({"v": SCHEMA_VERSION, "ev": "counter", "name": name,
-                "value": s.counters[name]})
+                "value": s.counters[name], "ts": ts})
     for name in sorted(s.gauges):
         s.emit({"v": SCHEMA_VERSION, "ev": "gauge", "name": name,
-                "value": s.gauges[name]})
+                "value": s.gauges[name], "ts": ts})
     snapshot = {
         "counters": dict(s.counters),
         "gauges": dict(s.gauges),
@@ -408,6 +409,34 @@ def merge_counters(totals: Dict[str, int]) -> None:
     for name, value in totals.items():
         s.api_calls += 1
         s.counters[name] = s.counters.get(name, 0) + value
+
+
+def sample_counters(prefix: Optional[str] = None) -> None:
+    """Emit the current cumulative counter totals as timestamped events.
+
+    Counter events normally appear once, at :func:`stop`; sampling
+    mid-session (the typed experiment runner does it after every
+    experiment) gives the trace a *time series* of cumulative totals,
+    which the Chrome exporter renders as counter tracks so evolution is
+    visible on the timeline, not just the final value.  Each sample
+    carries the session-relative ``ts``; the totals stay cumulative, so
+    the last event per name still equals the :func:`stop` total and
+    :func:`diff_counters` (which keeps the last value per name) is
+    unaffected.  ``prefix`` restricts the sample to matching counters.
+    No-op while disabled or when no sink is attached.
+    """
+    s = _STATE
+    if s is None:
+        return
+    s.api_calls += 1
+    if not s.sinks:
+        return
+    ts = round(time.perf_counter() - s.t0, 6)
+    for name in sorted(s.counters):
+        if prefix is not None and not name.startswith(prefix):
+            continue
+        s.emit({"v": SCHEMA_VERSION, "ev": "counter", "name": name,
+                "value": s.counters[name], "ts": ts})
 
 
 def counter_value(name: str) -> int:

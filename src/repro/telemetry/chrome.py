@@ -11,21 +11,33 @@ repro event     Chrome event
 ``span_open``   paired with its close into one ``X`` (complete) event;
                 a span that never closed becomes a ``B`` (begin) event
 ``span_close``  consumed by the pairing above
-``counter``     ``C`` (counter) sample at the end of the timeline
-``gauge``       ``C`` sample at the end of the timeline
+``counter``     ``C`` (counter) sample; at its own ``ts`` when the event
+                carries one (mid-session :func:`~repro.telemetry
+                .sample_counters` samples, stop totals), else at the end
+                of the timeline — so cumulative counter *evolution*
+                renders as a stepped track in Perfetto
+``gauge``       same placement rule as ``counter``
 ==============  =======================================================
 
 Timestamps are microseconds (the format's unit) measured from session
 start; span attributes travel in ``args``.  Everything is a plain
 structural transform of an already-parsed trace, so a trace captured by
 a crashed session (``allow_truncated``) still exports.
+
+A second **simulated-cycles clock domain** renders GPU profiles
+(:class:`repro.gpusim.profiler.AppProfile`) as launch/SM/channel
+timelines: :func:`gpu_timeline_events` lays each app out in its own
+process with 1 simulated cycle = 1 µs, and :func:`profiles_to_chrome`
+writes a standalone Perfetto-loadable document.  Host wall-time and
+simulated-cycle processes never share a pid, so the two time bases
+cannot be confused on one track.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 
 def chrome_events(
@@ -67,12 +79,141 @@ def chrome_events(
         })
     for event in events:
         if event.get("ev") in ("counter", "gauge"):
+            ts_us = (
+                event["ts"] * 1e6 if "ts" in event else end_us
+            )
             out.append({
-                "name": event["name"], "ph": "C", "ts": end_us,
+                "name": event["name"], "ph": "C", "ts": ts_us,
                 "pid": pid, "tid": 0,
                 "args": {"value": event["value"]},
             })
     return out
+
+
+# ----------------------------------------------------------------------
+# Simulated-cycles clock domain (GPU profiles)
+# ----------------------------------------------------------------------
+def gpu_timeline_events(profile, pid: int = 1) -> List[Dict[str, Any]]:
+    """Trace events for one app profile, in simulated cycles (1 cy = 1 µs).
+
+    ``profile`` is a :class:`repro.gpusim.profiler.AppProfile` (duck
+    typed to keep this module importable without gpusim).  Layout, one
+    Chrome *process* per app:
+
+    - tid 0 — the launch stream: one ``X`` per launch (overhead +
+      body), bound/stall mix in ``args``;
+    - tid 1..effective_sms — SM lanes: an ``X`` spanning each launch's
+      body on every SM the grid actually filled;
+    - tid 64+ch — memory channels: an ``X`` sized by that channel's
+      transaction service time, so channel imbalance is visible as
+      ragged right edges;
+    - ``C`` tracks of per-launch counters (DRAM bytes, resident warps)
+      stepping at each launch boundary.
+    """
+    cfg = profile.config
+    from repro.gpusim.profiler import cycles_per_transaction
+
+    cy_per_tx = cycles_per_transaction(cfg)
+    out: List[Dict[str, Any]] = [
+        {
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"gpusim:{profile.app_name} "
+                             f"({cfg.name}, simulated cycles)"},
+        },
+        {
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": "launches"},
+        },
+    ]
+    named_sms: set = set()
+    named_channels: set = set()
+    cursor = 0.0
+    for cs in profile.counters:
+        overhead = cs.cycles - cs.body_cycles
+        body_start = cursor + overhead
+        out.append({
+            "name": cs.kernel_name, "ph": "X", "ts": cursor,
+            "dur": cs.cycles, "pid": pid, "tid": 0,
+            "args": {
+                "launch": cs.launch_index,
+                "bound": cs.bound,
+                "bound_margin": cs.bound_margin,
+                "blocks": cs.n_blocks,
+                "resident_warps": cs.resident_warps,
+                "waves": cs.waves,
+                "stall_issue": cs.stalls["issue"],
+                "stall_bandwidth": cs.stalls["bandwidth"],
+                "stall_latency": cs.stalls["latency"],
+                "roofline": cs.roofline,
+            },
+        })
+        for sm in range(cs.effective_sms):
+            tid = 1 + sm
+            if tid not in named_sms:
+                named_sms.add(tid)
+                out.append({
+                    "name": "thread_name", "ph": "M", "pid": pid,
+                    "tid": tid, "args": {"name": f"SM{sm}"},
+                })
+            out.append({
+                "name": cs.kernel_name, "ph": "X", "ts": body_start,
+                "dur": cs.body_cycles, "pid": pid, "tid": tid,
+                "args": {"launch": cs.launch_index},
+            })
+        for ch, n_tx in enumerate(cs.channel_transactions):
+            if n_tx == 0:
+                continue
+            tid = 64 + ch
+            if tid not in named_channels:
+                named_channels.add(tid)
+                out.append({
+                    "name": "thread_name", "ph": "M", "pid": pid,
+                    "tid": tid, "args": {"name": f"DRAM ch{ch}"},
+                })
+            out.append({
+                "name": f"{cs.kernel_name} tx", "ph": "X",
+                "ts": body_start, "dur": n_tx * cy_per_tx,
+                "pid": pid, "tid": tid,
+                "args": {"transactions": n_tx},
+            })
+        end = cursor + cs.cycles
+        for cname, value in (
+            ("dram_bytes", cs.dram_bytes),
+            ("resident_warps", cs.resident_warps),
+            ("issued_warp_insts", cs.issued_warp_insts),
+        ):
+            out.append({
+                "name": cname, "ph": "C", "ts": end, "pid": pid,
+                "tid": 0, "args": {"value": value},
+            })
+        cursor = end
+    return out
+
+
+def profiles_to_chrome(profiles: Sequence[Any], out_path: str) -> str:
+    """Write app profiles as one Perfetto-loadable Trace Event document.
+
+    Each profile gets its own process (pid 1, 2, ...) on the
+    simulated-cycles clock; returns ``out_path``.
+    """
+    events: List[Dict[str, Any]] = []
+    for i, profile in enumerate(profiles):
+        events.extend(gpu_timeline_events(profile, pid=1 + i))
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.gpusim.profiler",
+            "clock": "simulated_cycles (1 cycle = 1 us)",
+        },
+    }
+    parent = os.path.dirname(out_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, separators=(",", ":"))
+        fh.write("\n")
+    return out_path
 
 
 def trace_to_chrome(trace_path: str, out_path: Optional[str] = None) -> str:

@@ -233,6 +233,124 @@ class TestChromeExport:
 
 
 # ----------------------------------------------------------------------
+# Counter evolution on the timeline (ISSUE 5 satellite)
+# ----------------------------------------------------------------------
+class TestCounterEvolution:
+    def test_samples_become_timestamped_c_events(self, tmp_path):
+        path = tmp_path / "evo.jsonl"
+        telemetry.start(trace_path=str(path))
+        with telemetry.span("run"):
+            telemetry.count("items", 1)
+            telemetry.sample_counters()
+            time.sleep(0.01)
+            telemetry.count("items", 2)
+            telemetry.sample_counters()
+        telemetry.stop()
+        events = telemetry.parse_trace(str(path))
+        samples = [e for e in events
+                   if e["ev"] == "counter" and e["name"] == "items"]
+        # Two mid-session samples (cumulative) plus the stop total.
+        assert [s["value"] for s in samples] == [1, 3, 3]
+        assert samples[0]["ts"] < samples[1]["ts"] <= samples[2]["ts"]
+        cs = [e for e in chrome_events(events)
+              if e["ph"] == "C" and e["name"] == "items"]
+        assert [c["args"]["value"] for c in cs] == [1, 3, 3]
+        assert cs[0]["ts"] < cs[1]["ts"]  # a stepped track, not one dot
+        # Last-sample-wins semantics keep diff_counters unaffected.
+        assert telemetry.diff_counters(events, events) == []
+
+    def test_prefix_filter_and_disabled_noop(self):
+        telemetry.sample_counters()  # disabled: must not raise
+        sink = MemorySink()
+        telemetry.start(sink=sink)
+        telemetry.count("a.x", 1)
+        telemetry.count("b.y", 1)
+        telemetry.sample_counters(prefix="a.")
+        telemetry.stop()
+        names = [e["name"] for e in sink.events if e["ev"] == "counter"]
+        assert names == ["a.x", "a.x", "b.y"]  # sample, then stop totals
+
+    def test_legacy_counter_events_still_land_at_end(self):
+        events = [
+            {"ev": "span_open", "id": "s1", "parent": None,
+             "name": "w", "ts": 0.0},
+            {"ev": "span_close", "id": "s1", "name": "w", "dur_s": 2.0},
+            {"ev": "counter", "name": "old", "value": 7},  # no ts
+        ]
+        (c,) = [e for e in chrome_events(events) if e["ph"] == "C"]
+        assert c["ts"] == pytest.approx(2.0e6)
+
+
+# ----------------------------------------------------------------------
+# Simulated-cycles clock domain (GPU profiles)
+# ----------------------------------------------------------------------
+class TestGpuTimeline:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        from repro.common.config import SimScale
+        from repro.gpusim import GPU, GPUConfig, TimingModel
+        from repro.workloads import base as wl
+
+        wl.load_all()
+        gpu = GPU(app_name="backprop")
+        wl.get("backprop").gpu_fn(gpu, SimScale.TINY)
+        return TimingModel(GPUConfig.sim_default()).profile(gpu.trace)
+
+    def test_launch_row_tiles_the_timeline(self, profile):
+        from repro.telemetry.chrome import gpu_timeline_events
+
+        evs = gpu_timeline_events(profile, pid=7)
+        assert all(e["pid"] == 7 for e in evs)
+        launches = [e for e in evs if e["ph"] == "X" and e["tid"] == 0]
+        assert len(launches) == len(profile.counters)
+        cursor = 0.0
+        for e in launches:
+            assert e["ts"] == pytest.approx(cursor)
+            assert e["args"]["bound"] in ("issue", "bandwidth", "latency")
+            cursor = e["ts"] + e["dur"]
+        assert cursor == pytest.approx(profile.total_cycles)
+
+    def test_sm_lanes_and_channel_rows(self, profile):
+        from repro.telemetry.chrome import gpu_timeline_events
+
+        evs = gpu_timeline_events(profile)
+        sm_x = [e for e in evs if e["ph"] == "X" and 1 <= e["tid"] < 64]
+        ch_x = [e for e in evs if e["ph"] == "X" and e["tid"] >= 64]
+        assert sm_x and ch_x
+        for cs in profile.counters:
+            lanes = [e for e in sm_x if e["args"]["launch"] == cs.launch_index]
+            assert len(lanes) == cs.effective_sms
+            assert all(e["dur"] == pytest.approx(cs.body_cycles)
+                       for e in lanes)
+        names = {e["args"]["name"] for e in evs if e["ph"] == "M"}
+        assert any(n.startswith("SM") for n in names)
+        assert any(n.startswith("DRAM ch") for n in names)
+
+    def test_counter_tracks_step_per_launch(self, profile):
+        from repro.telemetry.chrome import gpu_timeline_events
+
+        evs = gpu_timeline_events(profile)
+        dram = [e for e in evs if e["ph"] == "C" and e["name"] == "dram_bytes"]
+        assert len(dram) == len(profile.counters)
+        assert [c["args"]["value"] for c in dram] == [
+            cs.dram_bytes for cs in profile.counters
+        ]
+
+    def test_profiles_to_chrome_document(self, tmp_path, profile):
+        from repro.telemetry.chrome import profiles_to_chrome
+
+        out = profiles_to_chrome([profile, profile],
+                                 str(tmp_path / "gpu.chrome.json"))
+        doc = json.loads(open(out).read())
+        assert doc["otherData"]["clock"].startswith("simulated_cycles")
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {1, 2}  # one Chrome process per app profile
+        procs = [e for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"]
+        assert all("backprop" in p["args"]["name"] for p in procs)
+
+
+# ----------------------------------------------------------------------
 # JsonlSink hardening
 # ----------------------------------------------------------------------
 class TestJsonlSinkHardening:
@@ -268,7 +386,9 @@ class TestJsonlSinkHardening:
         telemetry._close_at_exit()  # what atexit would run
         assert not telemetry.active()
         events = telemetry.parse_trace(str(path))
-        assert {"v": 1, "ev": "counter", "name": "c", "value": 3} in events
+        c = next(e for e in events
+                 if e["ev"] == "counter" and e["name"] == "c")
+        assert c["value"] == 3 and c["v"] == 1
 
     def test_atexit_hook_flushes_crashed_session(self, tmp_path):
         path = tmp_path / "t.jsonl"

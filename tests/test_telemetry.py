@@ -189,9 +189,13 @@ class TestJsonl:
         child = next(e for e in opens.values() if e["name"] == "experiment")
         parent = next(e for e in opens.values() if e["name"] == "run")
         assert child["parent"] == parent["id"]
-        # counter/gauge totals land at stop()
-        assert {"ev": "counter", "name": "hits", "value": 2,
-                "v": telemetry.SCHEMA_VERSION} in events
+        # counter/gauge totals land at stop(), timestamped so the
+        # Chrome exporter can place them on the timeline
+        hits = next(e for e in events
+                    if e["ev"] == "counter" and e["name"] == "hits")
+        assert hits["value"] == 2
+        assert hits["v"] == telemetry.SCHEMA_VERSION
+        assert hits["ts"] >= 0.0
         assert any(e["ev"] == "gauge" and e["name"] == "occupancy"
                    for e in events)
 
