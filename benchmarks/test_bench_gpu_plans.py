@@ -1,0 +1,111 @@
+"""Micro-benchmark of traced launch plans (:mod:`repro.gpusim.plans`).
+
+Repeat launches of a plannable kernel replay a recorded whole-batch
+schedule instead of re-interpreting the DSL; this is the perf case the
+plan layer exists for, so warm replay must beat batch interpretation by
+at least 3x on a launch-heavy sequence.  Also times hotspot and srad —
+the paper's iterative stencils, dominated by repeat launches of one
+kernel — cold (trace + replay) and warm (pure replay) so the plan
+cache's trajectory lands in ``BENCH_timings.json``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.common.config import SimScale, override
+from repro.core import artifacts
+from repro.gpusim import GPU, clear_plans
+from repro.workloads import base as wl
+
+_BLOCKS = 256
+_THREADS = 128
+_N = _BLOCKS * _THREADS
+_LAUNCHES = 20
+
+
+def _stream_kernel(ctx, src, dst, s):
+    """Launch-heavy steady state: load, fused arithmetic, masked store."""
+    sm = ctx.shared((ctx.nthreads,), np.float32)
+    i = ctx.gtid
+    with ctx.masked(i < _N - 32):
+        v = ctx.load(src, i)
+        ctx.store(sm, ctx.tidx, v)
+        ctx.sync()
+        w = ctx.load(sm, (ctx.tidx + 1) % ctx.nthreads)
+        acc = v * s + w * 0.5
+        ctx.store(dst, i, np.where(ctx.mask, acc, 0.0))
+
+
+def _time_launches(plan: bool) -> tuple:
+    with override(gpu_plan=plan):
+        gpu = GPU()
+        src = gpu.to_device(np.sin(np.arange(_N, dtype=np.float32)))
+        dst = gpu.alloc(_N, dtype=np.float32)
+        gpu.launch(_stream_kernel, _BLOCKS, _THREADS, src, dst, 1.25)  # warm
+        t0 = time.perf_counter()
+        for _ in range(_LAUNCHES):
+            gpu.launch(_stream_kernel, _BLOCKS, _THREADS, src, dst, 1.25)
+        elapsed = time.perf_counter() - t0
+        return elapsed, gpu.trace, dst.to_host()
+
+
+def test_plan_replay_speedup():
+    prev = artifacts.get_artifact_cache()
+    artifacts.set_artifact_cache(None)
+    try:
+        clear_plans()
+        plan_s, plan_trace, plan_out = _time_launches(plan=True)
+        clear_plans()
+        batch_s, batch_trace, batch_out = _time_launches(plan=False)
+    finally:
+        artifacts.set_artifact_cache(prev)
+
+    # Same work: identical trace totals and device results.
+    np.testing.assert_array_equal(plan_out, batch_out)
+    assert plan_trace.thread_insts == batch_trace.thread_insts
+    assert plan_trace.n_transactions == batch_trace.n_transactions
+
+    speedup = batch_s / plan_s
+    print(
+        f"\nreplay {plan_s * 1e3:.1f} ms vs interpret {batch_s * 1e3:.1f} ms"
+        f" over {_LAUNCHES} launches x {_BLOCKS} blocks: {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, (
+        f"plan replay only {speedup:.2f}x faster "
+        f"({plan_s:.3f}s vs {batch_s:.3f}s)"
+    )
+
+
+def _time_workload(name: str, scale: SimScale, plan: bool) -> float:
+    with override(gpu_plan=plan):
+        gpu = GPU(app_name=name)
+        t0 = time.perf_counter()
+        wl.get(name).gpu_fn(gpu, scale)
+        return time.perf_counter() - t0
+
+
+def test_stencil_workloads_plan_speedup(scale):
+    """Hotspot and srad: cold (trace) and warm (replay) vs interpret."""
+    wl.load_all()
+    prev = artifacts.get_artifact_cache()
+    artifacts.set_artifact_cache(None)
+    try:
+        for name in ("hotspot", "srad"):
+            clear_plans()
+            cold_s = _time_workload(name, scale, plan=True)
+            warm_s = _time_workload(name, scale, plan=True)
+            clear_plans()
+            batch_s = _time_workload(name, scale, plan=False)
+            speedup = batch_s / warm_s
+            print(
+                f"\n{name}@{scale.value}: cold {cold_s * 1e3:.1f} ms, "
+                f"warm {warm_s * 1e3:.1f} ms, interpret "
+                f"{batch_s * 1e3:.1f} ms ({speedup:.1f}x warm)"
+            )
+            assert speedup >= 3.0, (
+                f"{name} warm replay only {speedup:.2f}x faster "
+                f"({warm_s:.3f}s vs {batch_s:.3f}s)"
+            )
+    finally:
+        artifacts.set_artifact_cache(prev)

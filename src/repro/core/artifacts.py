@@ -54,6 +54,12 @@ from repro.gpusim.trace_io import load_trace, save_trace
 #: changes; old entries are simply never matched again.
 ARTIFACT_FORMAT = 1
 
+#: Budget for persisted launch plans (see ``ArtifactCache.prune_plans``):
+#: plans are cheap to regenerate (one traced launch), so the cache keeps
+#: a bounded working set with mtime-LRU eviction.
+PLAN_CACHE_MAX_ENTRIES = 256
+PLAN_CACHE_MAX_BYTES = 256 * 1024 * 1024
+
 
 def _source_fingerprint(fn) -> str:
     """Hashable identity of a workload function's implementation."""
@@ -182,6 +188,66 @@ class ArtifactCache:
         path = self._path("gpu", name, scale, key, ".npz")
         self._write_atomic(path, lambda tmp: save_trace(trace, tmp))
         telemetry.count("artifacts.gpu.put")
+
+    # -- GPU launch plans (repro.gpusim.plans) --------------------------
+    def plan_path(self, kernel_name: str, key: str) -> Path:
+        safe = "".join(
+            ch if ch.isalnum() or ch in "-_" else "_" for ch in kernel_name
+        )[:48] or "kernel"
+        return self.root / f"plan-{safe}-{key}.npz"
+
+    def get_plan_file(self, kernel_name: str, key: str) -> Optional[Path]:
+        """Path of a persisted plan set, or None; touches mtime (LRU)."""
+        path = self.plan_path(kernel_name, key)
+        if not path.is_file():
+            telemetry.count("artifacts.plan.miss")
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        telemetry.count("artifacts.plan.hit")
+        return path
+
+    def put_plan_file(self, kernel_name: str, key: str, write_fn) -> Path:
+        """Atomically persist one plan set, then enforce the budget."""
+        path = self.plan_path(kernel_name, key)
+        self._write_atomic(path, write_fn)
+        telemetry.count("artifacts.plan.put")
+        self.prune_plans()
+        return path
+
+    def prune_plans(self, max_entries: int = PLAN_CACHE_MAX_ENTRIES,
+                    max_bytes: int = PLAN_CACHE_MAX_BYTES) -> int:
+        """Evict least-recently-used plan files past the budget.
+
+        Returns the number of files removed.  The newest file always
+        survives so a just-written plan cannot evict itself.
+        """
+        try:
+            entries = []
+            for p in self.root.glob("plan-*.npz"):
+                try:
+                    st = p.stat()
+                except OSError:
+                    continue
+                entries.append((st.st_mtime, st.st_size, p))
+        except OSError:
+            return 0
+        entries.sort(key=lambda e: e[0], reverse=True)
+        total = 0
+        evicted = 0
+        for kept, (_, size, p) in enumerate(entries, start=1):
+            total += size
+            if kept > 1 and (kept > max_entries or total > max_bytes):
+                try:
+                    p.unlink()
+                except OSError:
+                    continue
+                evicted += 1
+        if evicted:
+            telemetry.count("artifacts.plan.evict", evicted)
+        return evicted
 
 
 # ----------------------------------------------------------------------

@@ -17,6 +17,7 @@ from repro.gpusim.dsl import BlockCtx
 from repro.gpusim.gpu import BLOCK_BATCHES, GPU, batch_enabled
 from repro.gpusim.isa import Space
 from repro.gpusim.memory import DeviceArray
+from repro.gpusim.plans import PLAN_ROUTES, clear_plans, plan_enabled
 from repro.gpusim.profiler import (
     AppProfile,
     CounterSet,
@@ -42,6 +43,9 @@ __all__ = [
     "BatchBlockCtx",
     "BLOCK_BATCHES",
     "batch_enabled",
+    "PLAN_ROUTES",
+    "plan_enabled",
+    "clear_plans",
     "Space",
     "DeviceArray",
     "TimingModel",

@@ -73,6 +73,9 @@ class GPU:
         # once a batch attempt fails the kernel goes straight to the
         # scalar engine on later launches.
         self._batch_fallbacks: set = set()
+        # Kernels whose trace aborted (untraceable constructs); launches
+        # go straight to the batched interpreter instead of re-tracing.
+        self._plan_unplannable: set = set()
 
     # ------------------------------------------------------------------
     # Memory management
@@ -155,11 +158,29 @@ class GPU:
             "kernel_launch", kernel=launch.kernel_name, blocks=n_blocks,
             threads=threads,
         ):
+            plan_mode = batch_enabled() and runtime_config().gpu_plan
             if batch_enabled() and kernel not in self._batch_fallbacks:
+                if plan_mode and kernel not in self._plan_unplannable:
+                    from repro.gpusim import plans
+
+                    if plans.try_plan(
+                        self, kernel, launch, grid2, block2, args, n_blocks
+                    ):
+                        return
                 if self._launch_batched(
                     kernel, launch, grid2, block2, args, n_blocks
                 ):
+                    if plan_mode:
+                        from repro.gpusim import plans
+
+                        plans.record_route(
+                            launch.kernel_name, "batch", n_blocks
+                        )
                     return
+            if plan_mode:
+                from repro.gpusim import plans
+
+                plans.record_route(launch.kernel_name, "scalar", n_blocks)
             telemetry.count("gpusim.batch.launches.scalar")
             telemetry.count("gpusim.batch.blocks.scalar", n_blocks)
             # Masked-off lanes legitimately compute garbage (e.g. x/0);

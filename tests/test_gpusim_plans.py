@@ -1,0 +1,454 @@
+"""Traced launch plans: replay bit-identity, routing, and persistence.
+
+The plan path (:mod:`repro.gpusim.plans`) must be invisible to every
+observable of a run: traces, device results, profiler counter sets, and
+the ``gpusim.batch.*`` telemetry contract are all bit-identical whether
+a launch is interpreted (scalar oracle), batch-interpreted, traced, or
+replayed.  Routing is observable only through the ``PLAN_ROUTES`` probe
+and the ``gpusim.plan.*`` counter family.
+"""
+
+import contextlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.common.config import SimScale, override
+from repro.core import artifacts
+from repro.gpusim import (
+    BLOCK_BATCHES,
+    GPU,
+    GPUConfig,
+    PLAN_ROUTES,
+    TimingModel,
+    clear_plans,
+    profile_trace,
+)
+from repro.gpusim.plans import SESSION_CAP  # noqa: F401  (re-export check)
+from repro.workloads import base as wl
+from tests.test_gpusim_batch_equivalence import (
+    assert_trace_equal,
+    _flatten_result,
+)
+
+wl.load_all()
+GPU_WORKLOADS = sorted(n for n, d in wl.REGISTRY.items() if d.has_gpu)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_plan_state():
+    clear_plans()
+    del PLAN_ROUTES[:]
+    del BLOCK_BATCHES[:]
+    # This suite tests the plan layer itself, so it pins both engine
+    # toggles on regardless of the ambient REPRO_GPU_* environment
+    # (CI runs tier-1 with REPRO_GPU_PLAN=off too); tests that need a
+    # different routing nest their own override.
+    with override(gpu_batch=True, gpu_plan=True):
+        yield
+    clear_plans()
+
+
+@contextlib.contextmanager
+def _plan_cache(cache):
+    """Temporarily replace the artifact cache (None = session-only)."""
+    prev = artifacts.get_artifact_cache()
+    artifacts.set_artifact_cache(cache)
+    try:
+        yield cache
+    finally:
+        artifacts.set_artifact_cache(prev)
+
+
+def _run_workload(name, scale, *, plan, batch=True):
+    with override(gpu_batch=batch, gpu_plan=plan):
+        gpu = GPU(app_name=name)
+        result = wl.get(name).gpu_fn(gpu, scale)
+    return gpu.trace, _flatten_result(result)
+
+
+def _assert_results_equal(a, b, label):
+    assert len(a) == len(b), label
+    for u, v in zip(a, b):
+        np.testing.assert_array_equal(u, v, err_msg=label)
+
+
+def _counters_of(trace):
+    return profile_trace(trace, TimingModel(GPUConfig.sim_default())).counters
+
+
+# ----------------------------------------------------------------------
+# Rodinia: replay vs interpret vs oracle
+# ----------------------------------------------------------------------
+class TestRodiniaPlanEquivalence:
+    @pytest.mark.parametrize("name", GPU_WORKLOADS)
+    def test_tiny_three_way_bit_identical(self, name, tmp_path):
+        """Cold (trace) and warm (replay) runs match the scalar oracle."""
+        with _plan_cache(artifacts.ArtifactCache(tmp_path)):
+            t_cold, r_cold = _run_workload(name, SimScale.TINY, plan=True)
+            t_warm, r_warm = _run_workload(name, SimScale.TINY, plan=True)
+        t_scalar, r_scalar = _run_workload(
+            name, SimScale.TINY, plan=False, batch=False
+        )
+        assert_trace_equal(t_cold, t_scalar, f"{name} cold")
+        assert_trace_equal(t_warm, t_scalar, f"{name} warm")
+        _assert_results_equal(r_cold, r_scalar, name)
+        _assert_results_equal(r_warm, r_scalar, name)
+        assert _counters_of(t_warm) == _counters_of(t_scalar), name
+
+    @pytest.mark.parametrize("name", ["hotspot", "srad"])
+    def test_small_launch_heavy_replay(self, name, tmp_path):
+        """The launch-heavy workloads replay at SMALL with identical
+        traces, results, and profiler counter sets across all routes."""
+        with _plan_cache(artifacts.ArtifactCache(tmp_path)):
+            t_cold, _ = _run_workload(name, SimScale.SMALL, plan=True)
+            del PLAN_ROUTES[:]
+            t_warm, r_warm = _run_workload(name, SimScale.SMALL, plan=True)
+            warm_routes = {route for _, route, _ in PLAN_ROUTES}
+        assert warm_routes == {"replay"}, PLAN_ROUTES
+        t_batch, r_batch = _run_workload(name, SimScale.SMALL, plan=False)
+        t_scalar, r_scalar = _run_workload(
+            name, SimScale.SMALL, plan=False, batch=False
+        )
+        assert_trace_equal(t_cold, t_scalar, f"{name} cold")
+        assert_trace_equal(t_warm, t_scalar, f"{name} warm")
+        assert_trace_equal(t_batch, t_scalar, f"{name} batch")
+        _assert_results_equal(r_warm, r_scalar, name)
+        _assert_results_equal(r_batch, r_scalar, name)
+        cs = _counters_of(t_scalar)
+        assert _counters_of(t_warm) == cs, name
+        assert _counters_of(t_batch) == cs, name
+
+
+# ----------------------------------------------------------------------
+# Routing probe and counters
+# ----------------------------------------------------------------------
+def _saxpy_kernel(ctx, a, out, s):
+    i = ctx.gtid
+    with ctx.masked(i < out.size):
+        v = ctx.load(a, i)
+        ctx.store(out, i, v * s + 1.0)
+
+
+def _masked_on_data_kernel(ctx, a, out):
+    i = ctx.gtid
+    v = ctx.load(a, i % a.size)
+    with ctx.masked(v > 0):  # data-dependent mask: untraceable
+        ctx.store(out, i % out.size, v)
+
+
+class TestRouting:
+    def test_trace_then_replay_routes(self):
+        with _plan_cache(None):
+            gpu = GPU()
+            a = gpu.to_device(np.arange(64, dtype=np.float32))
+            out = gpu.alloc(64, dtype=np.float32)
+            gpu.launch(_saxpy_kernel, 2, 32, a, out, 2.0)
+            gpu.launch(_saxpy_kernel, 2, 32, a, out, 3.0)
+        assert [r for _, r, _ in PLAN_ROUTES] == ["trace", "replay"]
+        # Both launches are "the batched engine" to every existing probe.
+        assert [e[1] for e in BLOCK_BATCHES] == ["batched", "batched"]
+        np.testing.assert_array_equal(
+            out.to_host(), np.arange(64, dtype=np.float32) * 3.0 + 1.0
+        )
+
+    def test_symbolic_scalar_not_baked(self):
+        """A scalar used only in arithmetic binds per replay (one plan)."""
+        with _plan_cache(None):
+            telemetry.start()
+            gpu = GPU()
+            a = gpu.to_device(np.ones(32, dtype=np.float64))
+            out = gpu.alloc(32, dtype=np.float64)
+            for s in (1.5, 2.5, -3.0):
+                gpu.launch(_saxpy_kernel, 1, 32, a, out, s)
+                np.testing.assert_array_equal(out.to_host(), s + 1.0)
+            c = telemetry.counters()
+            telemetry.stop()
+        assert [r for _, r, _ in PLAN_ROUTES] == ["trace", "replay", "replay"]
+        assert c["gpusim.plan.launches.traced"] == 1
+        assert c["gpusim.plan.launches.replayed"] == 2
+        assert c["gpusim.plan.route._saxpy_kernel.replay"] == 2
+
+    def test_unplannable_kernel_routes_to_batch(self):
+        with _plan_cache(None):
+            gpu = GPU()
+            a = gpu.to_device(np.linspace(-1, 1, 64, dtype=np.float32))
+            out = gpu.alloc(64, dtype=np.float32)
+            gpu.launch(_masked_on_data_kernel, 2, 32, a, out)
+            gpu.launch(_masked_on_data_kernel, 2, 32, a, out)
+        assert [r for _, r, _ in PLAN_ROUTES] == ["batch", "batch"]
+        assert [e[1] for e in BLOCK_BATCHES] == ["batched", "batched"]
+
+    def test_plan_off_records_nothing(self):
+        with override(gpu_plan=False):
+            gpu = GPU()
+            a = gpu.to_device(np.ones(32, dtype=np.float32))
+            out = gpu.alloc(32, dtype=np.float32)
+            gpu.launch(_saxpy_kernel, 1, 32, a, out, 2.0)
+        assert PLAN_ROUTES == []
+        assert [e[1] for e in BLOCK_BATCHES] == ["batched"]
+
+    def test_route_counters_in_summary(self):
+        with _plan_cache(None):
+            telemetry.start()
+            gpu = GPU()
+            a = gpu.to_device(np.ones(32, dtype=np.float32))
+            out = gpu.alloc(32, dtype=np.float32)
+            gpu.launch(_saxpy_kernel, 1, 32, a, out, 2.0)
+            gpu.launch(_saxpy_kernel, 1, 32, a, out, 2.0)
+            rendered = "\n".join(t.render() for t in telemetry.summary())
+            telemetry.stop()
+        assert "gpusim.plan.route._saxpy_kernel.replay" in rendered
+
+
+# ----------------------------------------------------------------------
+# Scalar baking and variants
+# ----------------------------------------------------------------------
+def _strided_fill_kernel(ctx, out, n):
+    i = ctx.gtid
+    for _ in ctx.range_(n):  # trip count shapes the trace: n is baked
+        ctx.alu(1)
+    with ctx.masked(i < out.size):
+        ctx.store(out, i, ctx.const(ctx.bidx, np.int64))
+
+
+class TestBaking:
+    def test_baked_trip_count_variants(self):
+        """Different trip counts trace separate variants; both replay."""
+        with _plan_cache(None):
+            gpu = GPU()
+            out = gpu.alloc(64, dtype=np.int64)
+            for n in (4, 2, 4, 2):
+                gpu.launch(_strided_fill_kernel, 2, 32, out, n)
+        assert [r for _, r, _ in PLAN_ROUTES] == [
+            "trace", "trace", "replay", "replay"
+        ]
+        # Accounting must reflect each variant's own trip count.
+        with override(gpu_batch=False):
+            oracle = GPU()
+            out2 = oracle.alloc(64, dtype=np.int64)
+            for n in (4, 2, 4, 2):
+                oracle.launch(_strided_fill_kernel, 2, 32, out2, n)
+        assert_trace_equal(gpu.trace, oracle.trace, "baked variants")
+
+    def test_float32_weak_promotion_preserved(self):
+        """Python-float constants stay weak under replay (NEP 50)."""
+        with _plan_cache(None):
+            gpu = GPU()
+            a = gpu.to_device(np.full(32, 2.0, dtype=np.float32))
+            out = gpu.alloc(32, dtype=np.float32)
+            gpu.launch(_saxpy_kernel, 1, 32, a, out, 0.5)
+            first = out.to_host().copy()
+            gpu.launch(_saxpy_kernel, 1, 32, a, out, 0.5)
+        assert [r for _, r, _ in PLAN_ROUTES] == ["trace", "replay"]
+        np.testing.assert_array_equal(out.to_host(), first)
+        with override(gpu_batch=False):
+            oracle = GPU()
+            a2 = oracle.to_device(np.full(32, 2.0, dtype=np.float32))
+            out2 = oracle.alloc(32, dtype=np.float32)
+            oracle.launch(_saxpy_kernel, 1, 32, a2, out2, 0.5)
+        np.testing.assert_array_equal(first, out2.to_host())
+
+
+# ----------------------------------------------------------------------
+# Guards: mid-sequence divergence and invalidation
+# ----------------------------------------------------------------------
+def _guarded_kernel(ctx, a, out, smem_unused):
+    sm = ctx.shared((ctx.nthreads,), np.float64)
+    v = ctx.load(a, ctx.tidx)
+    total = ctx.block_reduce_sum(v.astype(np.float64), sm)
+    if total > 0:  # host branch on device data: recorded as a guard
+        with ctx.masked(ctx.tidx < out.size):
+            ctx.store(out, ctx.tidx, ctx.const(1.0))
+    else:
+        with ctx.masked(ctx.tidx < out.size):
+            ctx.store(out, ctx.tidx, ctx.const(-1.0))
+
+
+class TestGuards:
+    def test_mid_sequence_invalidation(self):
+        """A replay whose guard flips diverges, rolls back, and re-routes
+        to the batched engine with a correct trace and result."""
+        with _plan_cache(None):
+            telemetry.start()
+            gpu = GPU()
+            a = gpu.to_device(np.ones(32, dtype=np.float64))
+            out = gpu.alloc(32, dtype=np.float64)
+            dummy = gpu.alloc(4, dtype=np.float64)
+            gpu.launch(_guarded_kernel, 1, 32, a, out, dummy)
+            gpu.launch(_guarded_kernel, 1, 32, a, out, dummy)
+            np.testing.assert_array_equal(out.to_host(), 1.0)
+            a.data[...] = -1.0  # flip the branch mid-sequence
+            gpu.launch(_guarded_kernel, 1, 32, a, out, dummy)
+            c = telemetry.counters()
+            telemetry.stop()
+            np.testing.assert_array_equal(out.to_host(), -1.0)
+        assert [r for _, r, _ in PLAN_ROUTES] == ["trace", "replay", "batch"]
+        assert c["gpusim.plan.invalidated"] == 1
+        # Trace must match an oracle run of the same launch sequence.
+        with override(gpu_batch=False):
+            oracle = GPU()
+            a2 = oracle.to_device(np.ones(32, dtype=np.float64))
+            out2 = oracle.alloc(32, dtype=np.float64)
+            dummy2 = oracle.alloc(4, dtype=np.float64)
+            oracle.launch(_guarded_kernel, 1, 32, a2, out2, dummy2)
+            oracle.launch(_guarded_kernel, 1, 32, a2, out2, dummy2)
+            a2.data[...] = -1.0
+            oracle.launch(_guarded_kernel, 1, 32, a2, out2, dummy2)
+        assert_trace_equal(gpu.trace, oracle.trace, "guard sequence")
+
+    def test_divergence_rolls_back_device_writes(self):
+        with _plan_cache(None):
+            gpu = GPU()
+            a = gpu.to_device(np.ones(32, dtype=np.float64))
+            out = gpu.alloc(32, dtype=np.float64)
+            dummy = gpu.alloc(4, dtype=np.float64)
+            gpu.launch(_guarded_kernel, 1, 32, a, out, dummy)
+            a.data[...] = -1.0
+            gpu.launch(_guarded_kernel, 1, 32, a, out, dummy)
+            # The diverged replay's partial stores must not leak: the
+            # re-run wrote the branch the live data selects.
+            np.testing.assert_array_equal(out.to_host(), -1.0)
+
+
+# ----------------------------------------------------------------------
+# Persistence: artifact cache, budgets, --no-cache
+# ----------------------------------------------------------------------
+class TestPersistence:
+    def test_disk_roundtrip_replays_cold_process(self, tmp_path):
+        """A fresh session (cleared LRU) replays from the persisted npz."""
+        with _plan_cache(artifacts.ArtifactCache(tmp_path)):
+            _run_workload("hotspot", SimScale.TINY, plan=True)
+            files = list(tmp_path.glob("plan-hotspot_tile-*.npz"))
+            assert files, "plans were not persisted"
+            clear_plans()  # simulate a new process over the same cache
+            del PLAN_ROUTES[:]
+            t_warm, _ = _run_workload("hotspot", SimScale.TINY, plan=True)
+            assert {r for _, r, _ in PLAN_ROUTES} == {"replay"}
+        t_scalar, _ = _run_workload(
+            "hotspot", SimScale.TINY, plan=False, batch=False
+        )
+        assert_trace_equal(t_warm, t_scalar, "disk roundtrip")
+
+    def test_corrupt_plan_file_retraces(self, tmp_path):
+        cache = artifacts.ArtifactCache(tmp_path)
+        with _plan_cache(cache):
+            gpu = GPU()
+            a = gpu.to_device(np.ones(32, dtype=np.float32))
+            out = gpu.alloc(32, dtype=np.float32)
+            gpu.launch(_saxpy_kernel, 1, 32, a, out, 2.0)
+            (path,) = tmp_path.glob("plan-_saxpy_kernel-*.npz")
+            path.write_bytes(b"not an npz")
+            clear_plans()
+            del PLAN_ROUTES[:]
+            gpu2 = GPU()
+            a2 = gpu2.to_device(np.ones(32, dtype=np.float32))
+            out2 = gpu2.alloc(32, dtype=np.float32)
+            gpu2.launch(_saxpy_kernel, 1, 32, a2, out2, 2.0)
+            assert [r for _, r, _ in PLAN_ROUTES] == ["trace"]
+            np.testing.assert_array_equal(out2.to_host(), 3.0)
+
+    def test_no_cache_keeps_plans_session_only(self, tmp_path):
+        with _plan_cache(None):  # runner --no-cache
+            _run_workload("hotspot", SimScale.TINY, plan=True)
+            del PLAN_ROUTES[:]
+            _run_workload("hotspot", SimScale.TINY, plan=True)
+            assert {r for _, r, _ in PLAN_ROUTES} == {"replay"}
+        assert list(tmp_path.glob("plan-*.npz")) == []
+
+    def test_prune_entry_budget_is_lru(self, tmp_path):
+        import time
+
+        cache = artifacts.ArtifactCache(tmp_path)
+        for i in range(4):
+            cache.put_plan_file(f"k{i}", "0" * 16,
+                               lambda tmp: open(tmp, "wb").write(b"x" * 64))
+            time.sleep(0.01)
+        assert cache.prune_plans(max_entries=2) == 2
+        kept = sorted(p.name for p in tmp_path.glob("plan-*.npz"))
+        assert kept == [f"plan-k2-{'0' * 16}.npz", f"plan-k3-{'0' * 16}.npz"]
+
+    def test_prune_byte_budget_keeps_newest(self, tmp_path):
+        import time
+
+        cache = artifacts.ArtifactCache(tmp_path)
+        for i in range(3):
+            cache.put_plan_file(f"b{i}", "1" * 16,
+                               lambda tmp: open(tmp, "wb").write(b"x" * 100))
+            time.sleep(0.01)
+        # Budget fits one file: newest survives even though it alone
+        # busts the budget check for subsequent entries.
+        assert cache.prune_plans(max_entries=10, max_bytes=150) == 2
+        kept = [p.name for p in tmp_path.glob("plan-*.npz")]
+        assert kept == [f"plan-b2-{'1' * 16}.npz"]
+
+    def test_session_lru_bounded(self, monkeypatch):
+        from repro.gpusim import plans
+
+        monkeypatch.setattr(plans, "SESSION_CAP", 2)
+        for i in range(4):
+            plans._session_put(f"key{i}", plans.PlanSet(f"k{i}", ()))
+        assert list(plans._session) == ["key2", "key3"]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: synthetic kernels, replay == oracle
+# ----------------------------------------------------------------------
+def _make_synth_kernel(use_reduce: bool, use_where: bool):
+    def k(ctx, a, out, s):
+        i = ctx.gtid % a.size
+        v = ctx.load(a, i)
+        w = v * s + 0.25
+        if use_where:
+            w = np.where(ctx.mask, w, 0.0)
+        if use_reduce:
+            sm = ctx.shared((ctx.nthreads,), np.float64)
+            total = ctx.block_reduce_sum(w.astype(np.float64), sm)
+            with ctx.masked(ctx.tidx == 0):
+                ctx.store(out, ctx.const(ctx.bidx, np.int64), total)
+        else:
+            with ctx.masked(i < out.size):
+                ctx.store(out, i, w)
+
+    return k
+
+
+class TestPlanProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        threads=st.sampled_from([8, 32, 48]),
+        blocks=st.integers(min_value=1, max_value=4),
+        use_reduce=st.booleans(),
+        use_where=st.booleans(),
+        scale=st.floats(min_value=-4.0, max_value=4.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_replay_matches_oracle(self, threads, blocks, use_reduce,
+                                   use_where, scale, seed):
+        clear_plans()
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(-1, 1, threads * blocks)
+        fresh = rng.uniform(-1, 1, threads * blocks)
+        kernel = _make_synth_kernel(use_reduce, use_where)
+
+        def run(plan, batch=True):
+            with override(gpu_batch=batch, gpu_plan=plan):
+                gpu = GPU()
+                a = gpu.to_device(data.copy())
+                out = gpu.alloc(max(blocks, threads * blocks),
+                                dtype=np.float64)
+                gpu.launch(kernel, blocks, threads, a, out, scale)
+                gpu.launch(kernel, blocks, threads, a, out, scale)
+                a.data[...] = fresh  # replay must read live device data
+                gpu.launch(kernel, blocks, threads, a, out, scale)
+                return gpu.trace, out.to_host()
+
+        with _plan_cache(None):
+            t_plan, r_plan = run(plan=True)
+        t_scalar, r_scalar = run(plan=False, batch=False)
+        assert_trace_equal(t_plan, t_scalar, "synthetic")
+        np.testing.assert_array_equal(r_plan, r_scalar)
+        assert _counters_of(t_plan) == _counters_of(t_scalar)
