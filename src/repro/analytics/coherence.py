@@ -25,7 +25,8 @@ test oracle.
 
 from __future__ import annotations
 
-from typing import Optional
+import dataclasses
+from typing import List, Optional
 
 import numpy as np
 
@@ -37,6 +38,48 @@ from repro.analytics.cache import (
 from repro.cpusim.coherence import CoherenceStats
 
 
+def _member(sorted_ref: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Boolean membership of ``values`` in a sorted reference array."""
+    if sorted_ref.size == 0 or values.size == 0:
+        return np.zeros(values.size, dtype=bool)
+    idx = np.minimum(
+        np.searchsorted(sorted_ref, values), sorted_ref.size - 1
+    )
+    return sorted_ref[idx] == values
+
+
+@dataclasses.dataclass
+class CoherenceBatchState:
+    """Carried machine state between chunked coherence runs.
+
+    Way matrices are dense over all ``n_sets`` (a chunk imports and
+    exports only the sets it touches); the invalidated and seen line
+    sets are sorted line-address arrays, since their domain — distinct
+    lines — is unbounded by cache geometry.
+    """
+
+    n_sets: int
+    W: np.ndarray    # (C, n_sets, A) resident lines, MRU first
+    MOD: np.ndarray  # (C, n_sets, A) dirty bits
+    TW: np.ndarray   # (C, n_sets, A) touched-word masks
+    LEN: np.ndarray  # (C, n_sets) valid ways
+    inv_lines: List[np.ndarray]  # per-core sorted lines last evicted by inval
+    seen_lines: np.ndarray       # sorted lines ever accessed
+
+    @classmethod
+    def fresh(cls, n_cores: int, n_sets: int, assoc: int) -> "CoherenceBatchState":
+        C, A = n_cores, assoc
+        return cls(
+            n_sets=n_sets,
+            W=np.full((C, n_sets, A), EMPTY_LINE, dtype=np.int64),
+            MOD=np.zeros((C, n_sets, A), dtype=bool),
+            TW=np.zeros((C, n_sets, A), dtype=np.uint64),
+            LEN=np.zeros((C, n_sets), dtype=np.int64),
+            inv_lines=[np.empty(0, dtype=np.int64) for _ in range(C)],
+            seen_lines=np.empty(0, dtype=np.int64),
+        )
+
+
 def simulate_coherent_caches_batch(
     addrs: np.ndarray,
     tids: np.ndarray,
@@ -46,20 +89,32 @@ def simulate_coherent_caches_batch(
     line_bytes: int = 64,
     n_cores: int = 8,
     force: bool = False,
+    state: Optional[CoherenceBatchState] = None,
+    return_state: bool = False,
 ) -> Optional[CoherenceStats]:
     """Vectorized-across-sets run of the private-cache MSI protocol.
 
     Returns ``None`` when the trace shape doesn't suit the batch engine
     (few sets, or one set dominating); the caller falls back to the
     scalar oracle.
+
+    With ``state``/``return_state`` the run continues from (and exports
+    to) carried machine state, so a chunked trace processed one chunk at
+    a time produces counters bit-identical to one dense run — every
+    protocol interaction is line-granular and a line maps to one set in
+    all cores' identically shaped caches, so per-set subsequences with
+    carried way/INV/seen state compose exactly.
     """
     n = int(addrs.size)
     if line_bytes > 512:
         return None  # touched-word masks are 64-bit (8-byte words)
-    if n == 0:
-        return CoherenceStats(n_cores, 0, 0, 0, 0, 0, 0)
-    lines = (addrs // line_bytes).astype(np.int64)
     n_sets = max(1, cache_bytes_per_core // (assoc * line_bytes))
+    if state is not None and state.n_sets != n_sets:
+        raise ValueError("carried state has mismatched set count")
+    if n == 0:
+        empty = CoherenceStats(n_cores, 0, 0, 0, 0, 0, 0)
+        return (empty, state) if return_state else empty
+    lines = (addrs // line_bytes).astype(np.int64)
     part = partition_by_set(lines % n_sets)
     if not force and not batch_worthwhile(n, part.counts):
         return None
@@ -80,12 +135,25 @@ def simulate_coherent_caches_batch(
     maxlen = int(part.counts[desc[0]])
 
     C, A = n_cores, assoc
-    W = np.full((C, G, A), EMPTY_LINE, dtype=np.int64)
-    MOD = np.zeros((C, G, A), dtype=bool)
-    TW = np.zeros((C, G, A), dtype=np.uint64)
-    LEN = np.zeros((C, G), dtype=np.int64)
-    INV = np.zeros((C, n_lines), dtype=bool)
-    seen = np.zeros(n_lines, dtype=bool)
+    # Way-matrix row j holds the desc[j]-th group throughout the round
+    # loop, so state import/export must follow the same permutation.
+    sid = part.set_ids[desc]
+    if state is not None:
+        W = state.W[:, sid, :].copy()
+        MOD = state.MOD[:, sid, :].copy()
+        TW = state.TW[:, sid, :].copy()
+        LEN = state.LEN[:, sid].copy()
+        INV = np.stack(
+            [_member(state.inv_lines[c], uniq_lines) for c in range(C)]
+        )
+        seen = _member(state.seen_lines, uniq_lines)
+    else:
+        W = np.full((C, G, A), EMPTY_LINE, dtype=np.int64)
+        MOD = np.zeros((C, G, A), dtype=bool)
+        TW = np.zeros((C, G, A), dtype=np.uint64)
+        LEN = np.zeros((C, G), dtype=np.int64)
+        INV = np.zeros((C, n_lines), dtype=bool)
+        seen = np.zeros(n_lines, dtype=bool)
 
     misses = cold = coh = invals = wbs = 0
     true_sh = false_sh = 0
@@ -175,7 +243,7 @@ def simulate_coherent_caches_batch(
         TW[core, rows] = Tn
         LEN[core, rows] = np.minimum(Lk + miss, A)
 
-    return CoherenceStats(
+    stats = CoherenceStats(
         n_cores=n_cores,
         accesses=n,
         misses=misses,
@@ -186,3 +254,20 @@ def simulate_coherent_caches_batch(
         true_sharing_invalidations=true_sh,
         false_sharing_invalidations=false_sh,
     )
+    if not return_state:
+        return stats
+    if state is None:
+        state = CoherenceBatchState.fresh(n_cores, n_sets, assoc)
+    state.W[:, sid, :] = W
+    state.MOD[:, sid, :] = MOD
+    state.TW[:, sid, :] = TW
+    state.LEN[:, sid] = LEN
+    for c in range(C):
+        # Lines of this chunk overwrite their carried INV status; lines
+        # untouched by the chunk keep theirs.
+        kept = state.inv_lines[c][~_member(uniq_lines, state.inv_lines[c])]
+        state.inv_lines[c] = np.sort(
+            np.concatenate((kept, uniq_lines[INV[c]]))
+        )
+    state.seen_lines = np.union1d(state.seen_lines, uniq_lines)
+    return stats, state

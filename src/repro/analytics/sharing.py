@@ -15,6 +15,7 @@ Two pieces of :mod:`repro.cpusim.sharing` walk the trace in Python:
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional, Tuple
 
 import numpy as np
@@ -68,24 +69,62 @@ def count_consumer_reads_batch(
     return int(consumer.sum())
 
 
+@dataclasses.dataclass
+class SharingSizeState:
+    """Carried cache state for chunked residency-windowed sharing."""
+
+    n_sets: int
+    W: np.ndarray        # (n_sets, assoc) resident lines, MRU first
+    M: np.ndarray        # (n_sets, assoc) sharer bitmasks
+    lengths: np.ndarray  # (n_sets,) valid ways
+
+    @classmethod
+    def fresh(cls, n_sets: int, assoc: int) -> "SharingSizeState":
+        return cls(
+            n_sets=n_sets,
+            W=np.full((n_sets, assoc), EMPTY_LINE, dtype=np.int64),
+            M=np.zeros((n_sets, assoc), dtype=np.uint64),
+            lengths=np.zeros(n_sets, dtype=np.int64),
+        )
+
+    def close_lifetimes(self) -> Tuple[int, int]:
+        """End-of-trace closeout: (lifetimes, shared_lifetimes) of the
+        still-resident lines."""
+        resident = (
+            np.arange(self.W.shape[1])[None, :] < self.lengths[:, None]
+        )
+        return (
+            int(self.lengths.sum()),
+            int((_popcount(self.M[resident]) > 1).sum()),
+        )
+
+
 def sharing_at_size_batch(
     lines: np.ndarray,
     tids: np.ndarray,
     n_sets: int,
     assoc: int,
     force: bool = False,
+    state: Optional[SharingSizeState] = None,
+    return_state: bool = False,
 ) -> Optional[Tuple[int, int, int]]:
     """Residency-windowed sharing through per-set LRU with sharer masks.
 
     Returns ``(shared_accesses, lifetimes, shared_lifetimes)`` exactly
     matching the scalar ``sharing_at_size`` walk, or ``None`` when the
     trace shape doesn't suit the batch engine (caller falls back).
+
+    With ``state``/``return_state`` the cache continues across chunks
+    and still-resident lifetimes are NOT closed out — the caller calls
+    :meth:`SharingSizeState.close_lifetimes` after the last chunk.
     """
     n = lines.size
     if n == 0:
-        return 0, 0, 0
+        return (0, 0, 0, state) if return_state else (0, 0, 0)
     if tids.size and int(tids.max()) >= MAX_BATCH_TIDS:
         return None
+    if state is not None and state.n_sets != n_sets:
+        raise ValueError("carried state has mismatched set count")
     part = partition_by_set(lines % n_sets)
     if not force and not batch_worthwhile(n, part.counts):
         return None
@@ -96,9 +135,17 @@ def sharing_at_size_batch(
     dstarts = part.starts[desc]
     neg_counts = -part.counts[desc]
     maxlen = int(part.counts[desc[0]])
-    W = np.full((G, assoc), EMPTY_LINE, dtype=np.int64)
-    M = np.zeros((G, assoc), dtype=np.uint64)   # sharer masks per way
-    lengths = np.zeros(G, dtype=np.int64)
+    # Way-matrix row j holds the desc[j]-th group throughout the round
+    # loop, so state import/export must follow the same permutation.
+    sid = part.set_ids[desc]
+    if state is not None:
+        W = state.W[sid].copy()
+        M = state.M[sid].copy()
+        lengths = state.lengths[sid].copy()
+    else:
+        W = np.full((G, assoc), EMPTY_LINE, dtype=np.int64)
+        M = np.zeros((G, assoc), dtype=np.uint64)   # sharer masks per way
+        lengths = np.zeros(G, dtype=np.int64)
     cols = np.arange(assoc)
     shared_accesses = 0
     lifetimes = 0
@@ -135,6 +182,13 @@ def sharing_at_size_batch(
         W[:k] = Wn
         M[:k] = Mn
         lengths[:k] = np.minimum(lengths[:k] + ~hit, assoc)
+    if return_state:
+        if state is None:
+            state = SharingSizeState.fresh(n_sets, assoc)
+        state.W[sid] = W
+        state.M[sid] = M
+        state.lengths[sid] = lengths
+        return shared_accesses, lifetimes, shared_lifetimes, state
     # Close out still-resident lifetimes.
     resident = cols[None, :] < lengths[:, None]
     lifetimes += int(lengths.sum())

@@ -1,0 +1,311 @@
+"""Chunked columnar storage for trace streams.
+
+Traces are the memory ceiling of the whole stack: a LARGE functional run
+records tens of millions of (address, origin, is_store) records, and the
+historical representation — Python lists of ad-hoc numpy fragments,
+concatenated into one dense array per consumer — peaks at several copies
+of the full stream.  A :class:`ChunkStore` replaces that with a sequence
+of fixed-size column chunks:
+
+- **Appends** are split at ``chunk_rows`` boundaries, so chunk layout is
+  a deterministic function of the record stream, not of the append
+  pattern (the batched engine and the scalar interpreter produce the
+  same chunks for the same trace).
+- **Sealed chunks** participate in a process-wide byte ledger.  When the
+  ledger exceeds the budget (``REPRO_TRACE_BUDGET``), sealed chunks
+  spill — oldest first, spilling store first, then other live stores in
+  creation order — to compressed ``.npz`` segments in a private temp
+  directory, and are streamed back transparently during iteration.
+- **Consumers** iterate :meth:`iter_chunks` (re-iterable, launch/chunk
+  order) and carry their own state between chunks; the dense
+  :meth:`columns` view remains for oracles and short traces.
+
+Budget and chunk geometry resolve through
+:func:`repro.common.config.config` (``REPRO_TRACE_BUDGET``,
+``REPRO_TRACE_CHUNK``) at construction time, so tests pin them with
+``config.override(...)``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import weakref
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry
+
+__all__ = ["ChunkStore"]
+
+#: Process-wide in-memory bytes held by sealed (unspilled) chunks.
+_LEDGER = {"bytes": 0}
+
+#: Live stores in creation order (weakrefs; dead entries pruned lazily).
+_STORES: List["weakref.ref[ChunkStore]"] = []
+
+
+def ledger_bytes() -> int:
+    """In-memory bytes currently held by sealed chunks (all stores)."""
+    return _LEDGER["bytes"]
+
+
+def _release_store(mem: dict, dir_holder: dict) -> None:
+    """Finalizer: return a dead store's ledger share, drop its spill dir."""
+    _LEDGER["bytes"] -= mem["bytes"]
+    mem["bytes"] = 0
+    path = dir_holder.get("dir")
+    if path:
+        shutil.rmtree(path, ignore_errors=True)
+
+
+class _Chunk:
+    """One sealed column chunk: in memory, or spilled to an npz segment."""
+
+    __slots__ = ("arrays", "path", "n_rows", "nbytes")
+
+    def __init__(self, arrays: Tuple[np.ndarray, ...]):
+        self.arrays: Optional[Tuple[np.ndarray, ...]] = arrays
+        self.path: Optional[str] = None
+        self.n_rows = int(arrays[0].size) if arrays else 0
+        self.nbytes = sum(int(a.nbytes) for a in arrays)
+
+    @property
+    def in_memory(self) -> bool:
+        return self.arrays is not None
+
+
+class ChunkStore:
+    """An append-only columnar record stream in fixed-size chunks."""
+
+    def __init__(
+        self,
+        dtypes: Tuple[np.dtype, ...],
+        chunk_rows: Optional[int] = None,
+        budget_bytes: Optional[int] = None,
+        label: str = "",
+    ):
+        from repro.common.config import config
+
+        cfg = config()
+        self.dtypes = tuple(np.dtype(d) for d in dtypes)
+        self.chunk_rows = int(
+            cfg.trace_chunk_rows if chunk_rows is None else chunk_rows
+        )
+        if self.chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        self.budget_bytes = (
+            cfg.trace_budget if budget_bytes is None else int(budget_bytes)
+        )
+        self.label = label
+        self._sealed: List[_Chunk] = []
+        # Open (tail) chunk: per-column lists of pieces, < chunk_rows total.
+        self._open: Tuple[List[np.ndarray], ...] = tuple(
+            [] for _ in self.dtypes
+        )
+        self._open_rows = 0
+        self._n_rows = 0
+        # Ledger share of this store (sealed in-memory bytes), shared
+        # with the GC finalizer so a collected store returns its bytes.
+        self._mem = {"bytes": 0}
+        self._dir_holder: dict = {}
+        self._spill_seq = 0
+        _STORES.append(weakref.ref(self))
+        self._finalizer = weakref.finalize(
+            self, _release_store, self._mem, self._dir_holder
+        )
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_cols(self) -> int:
+        return len(self.dtypes)
+
+    @property
+    def nbytes(self) -> int:
+        """Logical (uncompressed) bytes of the full stream."""
+        rowbytes = sum(d.itemsize for d in self.dtypes)
+        return self._n_rows * rowbytes
+
+    def append(self, *cols: np.ndarray) -> None:
+        """Append aligned column slices; splits at chunk boundaries."""
+        if len(cols) != len(self.dtypes):
+            raise ValueError(
+                f"expected {len(self.dtypes)} columns, got {len(cols)}"
+            )
+        arrs = [
+            np.ascontiguousarray(c, dtype=d).reshape(-1)
+            for c, d in zip(cols, self.dtypes)
+        ]
+        n = arrs[0].size
+        for a in arrs[1:]:
+            if a.size != n:
+                raise ValueError("column lengths differ")
+        if n == 0:
+            return
+        pos = 0
+        while pos < n:
+            take = min(n - pos, self.chunk_rows - self._open_rows)
+            for pieces, a in zip(self._open, arrs):
+                # Copy the slice so the open tail never pins a caller's
+                # (potentially much larger) backing array.
+                piece = a[pos : pos + take]
+                pieces.append(piece if piece.base is None else piece.copy())
+            self._open_rows += take
+            self._n_rows += take
+            pos += take
+            if self._open_rows == self.chunk_rows:
+                self._seal()
+
+    def _seal(self) -> None:
+        arrays = tuple(
+            np.concatenate(pieces) if len(pieces) != 1 else pieces[0]
+            for pieces in self._open
+        )
+        for pieces in self._open:
+            pieces.clear()
+        self._open_rows = 0
+        chunk = _Chunk(arrays)
+        self._sealed.append(chunk)
+        self._mem["bytes"] += chunk.nbytes
+        _LEDGER["bytes"] += chunk.nbytes
+        _enforce_budget(self)
+
+    # ------------------------------------------------------------------
+    # Spill
+    # ------------------------------------------------------------------
+    def _spill_dir(self) -> str:
+        path = self._dir_holder.get("dir")
+        if not path:
+            path = tempfile.mkdtemp(prefix="repro-chunks-")
+            self._dir_holder["dir"] = path
+        return path
+
+    def _spill_oldest(self) -> int:
+        """Spill this store's oldest in-memory sealed chunk; bytes freed."""
+        for chunk in self._sealed:
+            if chunk.in_memory:
+                return self._spill(chunk)
+        return 0
+
+    def _spill(self, chunk: _Chunk) -> int:
+        path = os.path.join(
+            self._spill_dir(), f"chunk-{self._spill_seq:06d}.npz"
+        )
+        self._spill_seq += 1
+        np.savez_compressed(
+            path, **{f"c{i}": a for i, a in enumerate(chunk.arrays)}
+        )
+        freed = chunk.nbytes
+        chunk.arrays = None
+        chunk.path = path
+        self._mem["bytes"] -= freed
+        _LEDGER["bytes"] -= freed
+        telemetry.count("chunkstore.spill.chunks")
+        telemetry.count("chunkstore.spill.bytes", freed)
+        return freed
+
+    def _load(self, chunk: _Chunk) -> Tuple[np.ndarray, ...]:
+        with np.load(chunk.path) as data:
+            return tuple(data[f"c{i}"] for i in range(len(self.dtypes)))
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def iter_chunks(self) -> Iterator[Tuple[np.ndarray, ...]]:
+        """Yield ``(col0, col1, ...)`` chunks in record order.
+
+        Spilled chunks are loaded transiently (they stay on disk), so a
+        full pass holds at most one chunk beyond the open tail.
+        Re-iterable: every call starts a fresh pass.
+        """
+        for chunk in self._sealed:
+            if chunk.in_memory:
+                yield chunk.arrays
+            else:
+                yield self._load(chunk)
+        if self._open_rows:
+            yield tuple(
+                np.concatenate(pieces) if len(pieces) != 1 else pieces[0]
+                for pieces in self._open
+            )
+
+    def columns(self) -> Tuple[np.ndarray, ...]:
+        """Dense materialization of every column (compat / oracle view)."""
+        if self._n_rows == 0:
+            return tuple(np.empty(0, dtype=d) for d in self.dtypes)
+        parts: List[Tuple[np.ndarray, ...]] = list(self.iter_chunks())
+        if len(parts) == 1:
+            return parts[0]
+        return tuple(
+            np.concatenate([p[i] for p in parts])
+            for i in range(len(self.dtypes))
+        )
+
+    # ------------------------------------------------------------------
+    # Pickling (process pools, deepcopy): materialize, rebuild fresh.
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return {
+            "dtypes": self.dtypes,
+            "chunk_rows": self.chunk_rows,
+            "budget_bytes": self.budget_bytes,
+            "label": self.label,
+            "columns": self.columns(),
+        }
+
+    def __setstate__(self, state):
+        self.__init__(
+            state["dtypes"],
+            chunk_rows=state["chunk_rows"],
+            budget_bytes=state["budget_bytes"],
+            label=state["label"],
+        )
+        cols = state["columns"]
+        if cols and cols[0].size:
+            self.append(*cols)
+
+
+def _live_stores() -> List[ChunkStore]:
+    """Live stores in creation order; prunes dead weakrefs in place."""
+    out: List[ChunkStore] = []
+    alive: List["weakref.ref[ChunkStore]"] = []
+    for ref in _STORES:
+        store = ref()
+        if store is not None:
+            alive.append(ref)
+            out.append(store)
+    _STORES[:] = alive
+    return out
+
+
+def _enforce_budget(trigger: ChunkStore) -> None:
+    """Spill sealed chunks until the global ledger fits the budget.
+
+    The triggering store spills its own oldest chunks first (it is the
+    one growing), then other live stores in creation order.  A budget of
+    0 or less disables spilling.
+    """
+    budget = trigger.budget_bytes
+    if budget <= 0:
+        return
+    if _LEDGER["bytes"] <= budget:
+        return
+    while _LEDGER["bytes"] > budget and trigger._spill_oldest():
+        pass
+    if _LEDGER["bytes"] <= budget:
+        return
+    for store in _live_stores():
+        if store is trigger:
+            continue
+        while _LEDGER["bytes"] > budget and store._spill_oldest():
+            pass
+        if _LEDGER["bytes"] <= budget:
+            return

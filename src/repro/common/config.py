@@ -29,16 +29,26 @@ class SimScale(enum.Enum):
               qualitative regime (working sets exceed small caches,
               parallelism far exceeds machine width).
     MEDIUM -- closer to paper sizes; used when extra fidelity is wanted.
+    LARGE  -- out-of-core tier: >= 10M recorded accesses on the anchor
+              workloads (hotspot, srad), runnable under a fixed memory
+              budget via the chunked trace pipeline
+              (``REPRO_TRACE_BUDGET``, see docs/TRACES.md).
     """
 
     TINY = "tiny"
     SMALL = "small"
     MEDIUM = "medium"
+    LARGE = "large"
 
     @property
     def factor(self) -> int:
         """Linear-dimension multiplier relative to TINY."""
-        return {SimScale.TINY: 1, SimScale.SMALL: 2, SimScale.MEDIUM: 4}[self]
+        return {
+            SimScale.TINY: 1,
+            SimScale.SMALL: 2,
+            SimScale.MEDIUM: 4,
+            SimScale.LARGE: 8,
+        }[self]
 
 
 def scaled(base: int, scale: SimScale, minimum: int = 1) -> int:
@@ -63,6 +73,13 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 #: default leaves the registry off; see ``RuntimeConfig.registry_dir``).
 DEFAULT_REGISTRY_DIR = ".repro_runs"
 
+#: Default in-memory budget for sealed trace chunks before they spill
+#: to compressed segments (see repro.common.chunkstore / docs/TRACES.md).
+DEFAULT_TRACE_BUDGET = 512 * 1024 * 1024
+
+#: Default rows per column chunk of a trace store.
+DEFAULT_TRACE_CHUNK_ROWS = 1 << 20
+
 _ENV_VARS = (
     "REPRO_GPU_BATCH",
     "REPRO_GPU_BATCH_LANES",
@@ -70,9 +87,26 @@ _ENV_VARS = (
     "REPRO_CACHE",
     "REPRO_CACHE_DIR",
     "REPRO_TRACE",
+    "REPRO_TRACE_BUDGET",
+    "REPRO_TRACE_CHUNK",
     "REPRO_PROFILE",
     "REPRO_REGISTRY",
 )
+
+
+def _parse_bytes(value: Optional[str], default: int) -> int:
+    """Parse a byte count with optional k/m/g suffix (``'256m'``)."""
+    if value is None or not value.strip():
+        return default
+    text = value.strip().lower()
+    mult = 1
+    if text[-1] in "kmg":
+        mult = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}[text[-1]]
+        text = text[:-1]
+    try:
+        return int(float(text) * mult)
+    except ValueError:
+        return default
 
 
 def _env_true(value: Optional[str], default: bool = True) -> bool:
@@ -97,6 +131,12 @@ class RuntimeConfig:
     cache_dir       -- artifact-cache root (``REPRO_CACHE_DIR``).
     trace           -- telemetry JSONL output path (``REPRO_TRACE``),
                        None when tracing is off.
+    trace_budget    -- in-memory bytes of sealed trace chunks before
+                       they spill to compressed segments
+                       (``REPRO_TRACE_BUDGET``, suffixes k/m/g; 0 or
+                       ``off`` disables spilling).
+    trace_chunk_rows-- rows per trace column chunk
+                       (``REPRO_TRACE_CHUNK``).
     profile         -- span self-time attribution + tracemalloc peak
                        gauges when a telemetry session starts
                        (``REPRO_PROFILE``, default off).
@@ -112,6 +152,8 @@ class RuntimeConfig:
     cache: bool = True
     cache_dir: str = DEFAULT_CACHE_DIR
     trace: Optional[str] = None
+    trace_budget: int = DEFAULT_TRACE_BUDGET
+    trace_chunk_rows: int = DEFAULT_TRACE_CHUNK_ROWS
     profile: bool = False
     registry_dir: Optional[str] = None
 
@@ -127,6 +169,14 @@ class RuntimeConfig:
             registry_dir = None
         else:
             registry_dir = registry
+        budget_raw = os.environ.get("REPRO_TRACE_BUDGET")
+        if budget_raw and budget_raw.strip().lower() in FALSE_VALUES:
+            trace_budget = 0
+        else:
+            trace_budget = _parse_bytes(budget_raw, DEFAULT_TRACE_BUDGET)
+        chunk_rows = _parse_bytes(
+            os.environ.get("REPRO_TRACE_CHUNK"), DEFAULT_TRACE_CHUNK_ROWS
+        )
         return cls(
             gpu_batch=_env_true(os.environ.get("REPRO_GPU_BATCH")),
             gpu_batch_lanes=lanes,
@@ -134,6 +184,8 @@ class RuntimeConfig:
             cache=_env_true(os.environ.get("REPRO_CACHE")),
             cache_dir=os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR),
             trace=os.environ.get("REPRO_TRACE") or None,
+            trace_budget=trace_budget,
+            trace_chunk_rows=max(1, chunk_rows),
             profile=_env_true(os.environ.get("REPRO_PROFILE"), default=False),
             registry_dir=registry_dir,
         )

@@ -52,7 +52,8 @@ from repro.gpusim.trace_io import load_trace, save_trace
 
 #: Bump when the serialized layout or the meaning of a cached artifact
 #: changes; old entries are simply never matched again.
-ARTIFACT_FORMAT = 1
+#: 2: GPU traces persist in the v2 chunked columnar layout.
+ARTIFACT_FORMAT = 2
 
 #: Budget for persisted launch plans (see ``ArtifactCache.prune_plans``):
 #: plans are cheap to regenerate (one traced launch), so the cache keeps
@@ -118,6 +119,14 @@ class ArtifactCache:
               suffix: str) -> Path:
         return self.root / f"{kind}-{name}-{scale.value}-{key}{suffix}"
 
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh mtime on a read so LRU eviction tracks actual use."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
     def _write_atomic(self, path: Path, write_fn) -> None:
         # The temp file keeps the final suffix (np.savez appends ".npz"
         # to anything else) and lives in the same directory so the
@@ -149,6 +158,7 @@ class ArtifactCache:
         except (OSError, ValueError, KeyError, TypeError):
             telemetry.count("artifacts.cpu.miss")
             return None
+        self._touch(path)
         telemetry.count("artifacts.cpu.hit")
         return metrics
 
@@ -180,6 +190,7 @@ class ArtifactCache:
         except (OSError, ValueError, KeyError, EOFError):
             telemetry.count("artifacts.gpu.miss")
             return None
+        self._touch(path)
         telemetry.count("artifacts.gpu.hit")
         return trace
 
@@ -202,10 +213,7 @@ class ArtifactCache:
         if not path.is_file():
             telemetry.count("artifacts.plan.miss")
             return None
-        try:
-            os.utime(path)
-        except OSError:
-            pass
+        self._touch(path)
         telemetry.count("artifacts.plan.hit")
         return path
 

@@ -103,11 +103,12 @@ class SharedCache:
     # Vectorized whole-trace path
     # ------------------------------------------------------------------
     def _batchable(self, n: int) -> bool:
-        """Batch only from a cold cache (state import isn't supported)."""
-        return n >= 4096 and not self._sets and self.stats.accesses == 0
+        """Batch for long runs — warm state imports into the way matrix."""
+        return n >= 4096
 
     def _run_batch(self, addrs, record_hits):
         from repro.analytics.cache import (
+            EMPTY_LINE,
             batch_worthwhile,
             partition_by_set,
             simulate_lru_sets,
@@ -117,22 +118,42 @@ class SharedCache:
         part = partition_by_set(lines % self.n_sets)
         if not batch_worthwhile(lines.size, part.counts):
             return None
+        init_ways = init_lengths = None
+        if self._sets:
+            G = part.n_groups
+            init_ways = np.full((G, self.assoc), EMPTY_LINE, dtype=np.int64)
+            init_lengths = np.zeros(G, dtype=np.int64)
+            for g, sid in enumerate(part.set_ids.tolist()):
+                ways = self._sets.get(sid)
+                if ways:
+                    resident = list(ways)  # LRU first
+                    init_lengths[g] = len(resident)
+                    init_ways[g, : len(resident)] = resident[::-1]
         res = simulate_lru_sets(
             lines[part.order],
             part.starts,
             part.counts,
             self.assoc,
             need_hits=record_hits,
+            init_ways=init_ways,
+            init_lengths=init_lengths,
         )
         st = self.stats
         st.accesses += int(lines.size)
-        st.misses += int(res.miss_per_group.sum())
+        misses = int(res.miss_per_group.sum())
+        st.misses += misses
         uniq = np.unique(lines)
-        st.cold_misses += int(uniq.size)
-        st.evictions += int(
-            np.maximum(res.miss_per_group - self.assoc, 0).sum()
-        )
-        self._seen.update(uniq.tolist())
+        if self._seen:
+            new_lines = [l for l in uniq.tolist() if l not in self._seen]
+            st.cold_misses += len(new_lines)
+            self._seen.update(new_lines)
+        else:
+            st.cold_misses += int(uniq.size)
+            self._seen.update(uniq.tolist())
+        # Every miss installs a line; occupancy growth accounts for the
+        # installs that displaced nothing — the rest evicted.
+        init_occupancy = 0 if init_lengths is None else int(init_lengths.sum())
+        st.evictions += misses - (int(res.lengths.sum()) - init_occupancy)
         for g in range(part.n_groups):
             length = int(res.lengths[g])
             if length:

@@ -158,6 +158,49 @@ def simulate_coherent_caches(
     )
 
 
+def simulate_coherent_caches_chunked(
+    iter_chunks,
+    cache_bytes_per_core: int = 512 * 1024,
+    assoc: int = 4,
+    line_bytes: int = 64,
+    n_cores: int = 8,
+) -> CoherenceStats:
+    """Streaming coherence run over (addr, tid, is_write) column chunks.
+
+    ``iter_chunks`` is a zero-argument callable returning the chunk
+    iterator (e.g. ``machine.iter_trace_chunks``).  Carries the batch
+    engine's machine state between chunks; counters are bit-identical to
+    one dense :func:`simulate_coherent_caches` run.
+    """
+    from repro.analytics.coherence import simulate_coherent_caches_batch
+
+    if line_bytes > 512:
+        # Touched-word masks don't cover such lines; dense scalar oracle.
+        cols = [np.concatenate(c) for c in zip(*iter_chunks())] or [
+            np.empty(0, dtype=np.int64)
+        ] * 3
+        return simulate_coherent_caches_scalar(
+            cols[0], cols[1], cols[2], cache_bytes_per_core, assoc,
+            line_bytes, n_cores,
+        )
+    totals = CoherenceStats(n_cores, 0, 0, 0, 0, 0, 0)
+    state = None
+    for addrs, tids, writes in iter_chunks():
+        stats, state = simulate_coherent_caches_batch(
+            addrs, tids, writes, cache_bytes_per_core, assoc, line_bytes,
+            n_cores, force=True, state=state, return_state=True,
+        )
+        totals.accesses += stats.accesses
+        totals.misses += stats.misses
+        totals.cold_misses += stats.cold_misses
+        totals.coherence_misses += stats.coherence_misses
+        totals.invalidations += stats.invalidations
+        totals.writebacks += stats.writebacks
+        totals.true_sharing_invalidations += stats.true_sharing_invalidations
+        totals.false_sharing_invalidations += stats.false_sharing_invalidations
+    return totals
+
+
 def simulate_coherent_caches_scalar(
     addrs: np.ndarray,
     tids: np.ndarray,

@@ -13,14 +13,28 @@ cache.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
+
+from repro.common.chunkstore import ChunkStore
 
 IndexLike = Union[int, np.ndarray, Sequence[int]]
 
 #: Accesses per thread per interleaving quantum.
 DEFAULT_QUANTUM = 64
+
+#: Column layout of the merged machine trace.
+TRACE_DTYPES = (np.dtype(np.int64), np.dtype(np.int16), np.dtype(bool))
 
 
 class HostArray:
@@ -184,10 +198,9 @@ class Machine:
         self.counts = OpCounts()
         # Per-thread dynamic instruction totals (for load-balance analysis).
         self.thread_insts = np.zeros(n_threads, dtype=np.int64)
-        self._region_addr: List[np.ndarray] = []
-        self._region_tid: List[np.ndarray] = []
-        self._region_write: List[np.ndarray] = []
-        self._trace_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        # Merged (addr, tid, is_write) trace as fixed-size column chunks
+        # that spill to compressed segments past the trace budget.
+        self._trace = ChunkStore(TRACE_DTYPES, label="cpu")
 
     # ------------------------------------------------------------------
     # Memory management
@@ -225,7 +238,6 @@ class Machine:
         return result
 
     def _merge_region(self, ctxs: List[ThreadCtx]) -> None:
-        self._trace_cache = None
         per_thread = []
         for ctx in ctxs:
             self.counts.add(ctx.counts)
@@ -243,9 +255,9 @@ class Machine:
             return
         if len(per_thread) == 1:
             tid, addrs, writes = per_thread[0]
-            self._region_addr.append(addrs)
-            self._region_tid.append(np.full(addrs.size, tid, dtype=np.int16))
-            self._region_write.append(writes)
+            self._trace.append(
+                addrs, np.full(addrs.size, tid, dtype=np.int16), writes
+            )
             return
         q = self.quantum
         cursors = [0] * len(per_thread)
@@ -263,40 +275,40 @@ class Machine:
                 out_w.append(writes[c:hi])
                 remaining -= hi - c
                 cursors[i] = hi
-        self._region_addr.append(np.concatenate(out_a))
-        self._region_tid.append(np.concatenate(out_t))
-        self._region_write.append(np.concatenate(out_w))
+        self._trace.append(
+            np.concatenate(out_a),
+            np.concatenate(out_t),
+            np.concatenate(out_w),
+        )
 
     # ------------------------------------------------------------------
     # Trace access
     # ------------------------------------------------------------------
     def trace(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """(addr, tid, is_write) arrays of the merged access trace."""
-        if self._trace_cache is None:
-            if self._region_addr:
-                self._trace_cache = (
-                    np.concatenate(self._region_addr),
-                    np.concatenate(self._region_tid),
-                    np.concatenate(self._region_write),
-                )
-            else:
-                self._trace_cache = (
-                    np.empty(0, dtype=np.int64),
-                    np.empty(0, dtype=np.int16),
-                    np.empty(0, dtype=bool),
-                )
-        return self._trace_cache
+        """(addr, tid, is_write) arrays of the merged access trace.
+
+        Dense materialization — the oracle/compat view.  Streaming
+        consumers iterate :meth:`iter_trace_chunks` so spilled chunks
+        never re-assemble in memory.
+        """
+        return self._trace.columns()
+
+    def iter_trace_chunks(
+        self,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """(addr, tid, is_write) column chunks in merged-trace order."""
+        return self._trace.iter_chunks()
 
     @property
     def n_accesses(self) -> int:
-        return self.trace()[0].size
+        return self._trace.n_rows
 
     def data_footprint_pages(self, page_bytes: int = 4096) -> int:
         """Distinct data pages touched (Figure 12)."""
-        addrs = self.trace()[0]
-        if addrs.size == 0:
-            return 0
-        return int(np.unique(addrs // page_bytes).size)
+        pages: np.ndarray = np.empty(0, dtype=np.int64)
+        for addrs, _, _ in self.iter_trace_chunks():
+            pages = np.union1d(pages, addrs // page_bytes)
+        return int(pages.size)
 
     def lines(self) -> np.ndarray:
         """Cache-line index of every access."""

@@ -14,10 +14,9 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.cpusim.cache import PAPER_CACHE_SIZES, simulate_shared_cache
+from repro.cpusim.cache import PAPER_CACHE_SIZES
 from repro.cpusim.machine import Machine
-from repro.cpusim.reuse import miss_rate_curve
-from repro.cpusim.sharing import SharingStats, analyze_sharing
+from repro.cpusim.sharing import SharingStats
 
 #: Figure 10's cache configuration.
 FIG10_CACHE_BYTES = 4 * 1024 * 1024
@@ -60,13 +59,35 @@ def characterize_trace(
     code_footprint_64b: int = 0,
     exact_4mb: bool = True,
 ) -> CPUMetrics:
-    """Compute all CPU metrics from a machine's accumulated trace."""
-    addrs, tids, writes = machine.trace()
-    curve = miss_rate_curve(addrs, PAPER_CACHE_SIZES, machine.line_size)
-    if exact_4mb and addrs.size:
-        rate_4mb = simulate_shared_cache(
-            addrs, FIG10_CACHE_BYTES, assoc=4, line_bytes=machine.line_size
-        ).miss_rate
+    """Compute all CPU metrics from a machine's accumulated trace.
+
+    Streams the trace chunk by chunk — every analysis (reuse curve, the
+    exact 4 MB cache, sharing) carries its state between chunks — so a
+    spilled out-of-core trace is characterized without re-materializing
+    it; results are bit-identical to the dense whole-trace path.
+    """
+    from repro.analytics.chunked import StreamingReuse, StreamingSharing
+    from repro.cpusim.cache import SharedCache
+    from repro.cpusim.reuse import curve_from_histogram
+
+    reuse = StreamingReuse(machine.line_size)
+    sharing = StreamingSharing(machine.line_size)
+    cache4 = (
+        SharedCache(FIG10_CACHE_BYTES, assoc=4, line_bytes=machine.line_size)
+        if exact_4mb
+        else None
+    )
+    for addrs, tids, writes in machine.iter_trace_chunks():
+        reuse.update(addrs)
+        sharing.update(addrs, tids, writes)
+        if cache4 is not None:
+            cache4.run(addrs, record_hits=False)
+    hist, cold = reuse.result()
+    curve = curve_from_histogram(
+        hist, cold, PAPER_CACHE_SIZES, machine.line_size
+    )
+    if cache4 is not None and machine.n_accesses:
+        rate_4mb = cache4.stats.miss_rate
     else:
         rate_4mb = curve.get(FIG10_CACHE_BYTES, 0.0)
     return CPUMetrics(
@@ -76,7 +97,7 @@ def characterize_trace(
         mem_refs=machine.counts.mem,
         miss_curve=curve,
         miss_rate_4mb=rate_4mb,
-        sharing=analyze_sharing(addrs, tids, writes, machine.line_size),
+        sharing=sharing.result(machine.iter_trace_chunks),
         data_footprint_4kb=machine.data_footprint_pages(),
         code_footprint_64b=code_footprint_64b,
     )

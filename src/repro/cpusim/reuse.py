@@ -102,17 +102,20 @@ def reuse_distance_histogram(
     return reuse_distance_histogram_scalar(addrs, line_bytes)
 
 
-def miss_rate_curve(
-    addrs: np.ndarray,
+def curve_from_histogram(
+    hist: np.ndarray,
+    cold: int,
     sizes: Tuple[int, ...] = PAPER_CACHE_SIZES,
     line_bytes: int = 64,
 ) -> Dict[int, float]:
-    """Miss rate (misses per memory reference) at each cache size.
+    """Miss rates at each cache size from a stack-distance histogram.
 
-    Computed from a single reuse-distance pass: for a cache holding ``L``
-    lines, accesses with stack distance >= L miss, plus all cold misses.
+    The inclusion property makes one histogram serve every size: a cache
+    holding ``L`` lines misses exactly the accesses with distance >= L,
+    plus all cold misses.  Shared by :func:`miss_rate_curve` and the
+    fine-grid curve of :mod:`repro.cpusim.workingset`, and the streaming
+    entry point for :class:`repro.analytics.chunked.StreamingReuse`.
     """
-    hist, cold = reuse_distance_histogram(addrs, line_bytes)
     n = int(hist.sum()) + cold
     if n == 0:
         return {size: 0.0 for size in sizes}
@@ -129,3 +132,34 @@ def miss_rate_curve(
             hits = int(cum[capacity - 1])
         out[size] = (n - hits) / n
     return out
+
+
+def miss_rate_curve(
+    addrs: np.ndarray,
+    sizes: Tuple[int, ...] = PAPER_CACHE_SIZES,
+    line_bytes: int = 64,
+) -> Dict[int, float]:
+    """Miss rate (misses per memory reference) at each cache size.
+
+    Computed from a single reuse-distance pass: for a cache holding ``L``
+    lines, accesses with stack distance >= L miss, plus all cold misses.
+    """
+    hist, cold = reuse_distance_histogram(addrs, line_bytes)
+    return curve_from_histogram(hist, cold, sizes, line_bytes)
+
+
+def miss_rate_curve_chunked(
+    iter_chunks,
+    sizes: Tuple[int, ...] = PAPER_CACHE_SIZES,
+    line_bytes: int = 64,
+) -> Dict[int, float]:
+    """Streaming miss-rate curve over (addr, ...) column chunks.
+
+    ``iter_chunks`` is a zero-argument callable returning the chunk
+    iterator; results are bit-identical to :func:`miss_rate_curve` on
+    the concatenated trace.
+    """
+    from repro.analytics.chunked import reuse_histogram_chunked
+
+    hist, cold = reuse_histogram_chunked(iter_chunks, line_bytes)
+    return curve_from_histogram(hist, cold, sizes, line_bytes)

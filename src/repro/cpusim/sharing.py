@@ -197,6 +197,54 @@ def sharing_at_size(
     return sharing_at_size_scalar(addrs, tids, size_bytes, assoc, line_bytes)
 
 
+def sharing_at_size_chunked(
+    iter_chunks,
+    size_bytes: int,
+    assoc: int = 4,
+    line_bytes: int = 64,
+) -> SizeSharing:
+    """Streaming residency-windowed sharing over (addr, tid, ...) chunks.
+
+    ``iter_chunks`` is a zero-argument callable returning the chunk
+    iterator.  The way-matrix engine's cache state carries between
+    chunks and still-resident lifetimes close after the last one, so the
+    result is bit-identical to the dense :func:`sharing_at_size`.
+    """
+    from repro.analytics.sharing import sharing_at_size_batch
+
+    n_sets = max(1, (size_bytes // line_bytes) // assoc)
+    total = shared = lifetimes = shared_lt = 0
+    state = None
+    for chunk in iter_chunks():
+        addrs, tids = chunk[0], chunk[1]
+        lines = (addrs // line_bytes).astype(np.int64)
+        result = sharing_at_size_batch(
+            lines, tids.astype(np.int64), n_sets, assoc,
+            force=True, state=state, return_state=True,
+        )
+        if result is None:  # >= 64 thread ids: dense scalar fallback
+            cols = [np.concatenate(c) for c in zip(*iter_chunks())]
+            return sharing_at_size_scalar(
+                cols[0], cols[1], size_bytes, assoc, line_bytes
+            )
+        s, lt, slt, state = result
+        total += int(addrs.size)
+        shared += s
+        lifetimes += lt
+        shared_lt += slt
+    if state is not None:
+        lt, slt = state.close_lifetimes()
+        lifetimes += lt
+        shared_lt += slt
+    return SizeSharing(
+        size_bytes=size_bytes,
+        total_accesses=total,
+        shared_accesses=shared,
+        lifetimes=lifetimes,
+        shared_lifetimes=shared_lt,
+    )
+
+
 def sharing_at_size_scalar(
     addrs: np.ndarray,
     tids: np.ndarray,

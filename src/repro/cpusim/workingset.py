@@ -17,7 +17,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.cpusim.cache import PAPER_CACHE_SIZES
-from repro.cpusim.reuse import reuse_distance_histogram
+from repro.cpusim.reuse import curve_from_histogram, reuse_distance_histogram
 
 
 @dataclasses.dataclass
@@ -34,6 +34,20 @@ class WorkingSet:
         return self.miss_rate_before - self.miss_rate_after
 
 
+def _fine_size_grid(
+    points_per_octave: int, min_size: int, max_size: int
+) -> List[int]:
+    sizes: List[int] = []
+    size = min_size
+    while size <= max_size:
+        for step in range(points_per_octave):
+            s = int(size * 2 ** (step / points_per_octave))
+            if s <= max_size:
+                sizes.append(s)
+        size *= 2
+    return sorted(set(sizes))
+
+
 def fine_miss_curve(
     addrs: np.ndarray,
     line_bytes: int = 64,
@@ -47,28 +61,23 @@ def fine_miss_curve(
     fine grid costs no more than the paper's eight points.
     """
     hist, cold = reuse_distance_histogram(addrs, line_bytes)
-    n = int(hist.sum()) + cold
-    cum = np.cumsum(hist)
-    total_hist = int(hist.sum())
-    sizes: List[int] = []
-    size = min_size
-    while size <= max_size:
-        for step in range(points_per_octave):
-            s = int(size * 2 ** (step / points_per_octave))
-            if s <= max_size:
-                sizes.append(s)
-        size *= 2
-    out: Dict[int, float] = {}
-    for s in sorted(set(sizes)):
-        capacity = s // line_bytes
-        if capacity <= 0:
-            hits = 0
-        elif capacity - 1 >= hist.size:
-            hits = total_hist
-        else:
-            hits = int(cum[capacity - 1])
-        out[s] = (n - hits) / n if n else 0.0
-    return out
+    grid = _fine_size_grid(points_per_octave, min_size, max_size)
+    return curve_from_histogram(hist, cold, tuple(grid), line_bytes)
+
+
+def fine_miss_curve_chunked(
+    iter_chunks,
+    line_bytes: int = 64,
+    points_per_octave: int = 2,
+    min_size: int = 16 * 1024,
+    max_size: int = 32 * 1024 * 1024,
+) -> Dict[int, float]:
+    """Streaming :func:`fine_miss_curve` over (addr, ...) column chunks."""
+    from repro.analytics.chunked import reuse_histogram_chunked
+
+    hist, cold = reuse_histogram_chunked(iter_chunks, line_bytes)
+    grid = _fine_size_grid(points_per_octave, min_size, max_size)
+    return curve_from_histogram(hist, cold, tuple(grid), line_bytes)
 
 
 def detect_working_sets(

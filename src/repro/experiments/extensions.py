@@ -37,7 +37,7 @@ from repro.core.features import (
     gpu_trace_for,
     suite_workloads,
 )
-from repro.cpusim.coherence import simulate_coherent_caches
+from repro.cpusim.coherence import simulate_coherent_caches_chunked
 from repro.experiments import ExperimentResult
 from repro.experiments.gpu_common import gpu_workload_names, short_name, traces
 from repro.gpusim import GPUConfig, TimingModel
@@ -323,8 +323,7 @@ def run_ext_coherence(scale: SimScale = SimScale.SMALL) -> ExperimentResult:
         defn = wl.get(name)
         machine = Machine()
         defn.cpu_fn(machine, scale)
-        addrs, tids, writes = machine.trace()
-        stats = simulate_coherent_caches(addrs, tids, writes)
+        stats = simulate_coherent_caches_chunked(machine.iter_trace_chunks)
         shared_rate = cpu_metrics_for(name, scale).miss_rate_4mb
         table.add_row([
             name, stats.miss_rate, stats.coherence_miss_fraction,

@@ -25,8 +25,8 @@ from repro.common.tables import Table
 from repro.core.features import cpu_metrics_for, feature_matrix, suite_workloads
 from repro.core.prediction import leave_one_out
 from repro.cpusim import Machine
-from repro.cpusim.sharing import sharing_at_size
-from repro.cpusim.workingset import detect_working_sets, fine_miss_curve
+from repro.cpusim.sharing import sharing_at_size_chunked
+from repro.cpusim.workingset import detect_working_sets, fine_miss_curve_chunked
 from repro.experiments import ExperimentResult
 from repro.experiments.gpu_common import (
     gpu_workload_names,
@@ -59,8 +59,7 @@ def run_ext_workingsets(scale: SimScale = SimScale.SMALL) -> ExperimentResult:
     data: Dict[str, List] = {}
     for name in names:
         machine = _machine_for(name, scale)
-        addrs = machine.trace()[0]
-        sets = detect_working_sets(fine_miss_curve(addrs))
+        sets = detect_working_sets(fine_miss_curve_chunked(machine.iter_trace_chunks))
         def fmt(i):
             if i >= len(sets):
                 return "-"
@@ -92,10 +91,11 @@ def run_ext_sharing_size(scale: SimScale = SimScale.SMALL) -> ExperimentResult:
     data = {}
     for name in names:
         machine = _machine_for(name, scale)
-        addrs, tids, writes = machine.trace()
         ratios = {}
         for size in _SHARING_SIZES:
-            ratios[size] = sharing_at_size(addrs, tids, size).shared_access_ratio
+            ratios[size] = sharing_at_size_chunked(
+                machine.iter_trace_chunks, size
+            ).shared_access_ratio
         whole = cpu_metrics_for(name, scale).sharing.shared_access_ratio
         table.add_row([name] + [ratios[s] for s in _SHARING_SIZES] + [whole])
         data[name] = {"by_size": ratios, "whole_run": whole}

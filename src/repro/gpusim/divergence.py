@@ -75,10 +75,8 @@ def _counterfactual_trace(trace: KernelTrace) -> KernelTrace:
         full = nlt.issued_warp_insts
         nlt.occupancy_hist = np.zeros(32, dtype=np.int64)
         nlt.occupancy_hist[31] = full
-        addrs, blocks, stores = lt.transactions()
-        if addrs.size:
-            nlt.record_transactions(addrs, 0, False)
-            nlt._tx_final = (addrs, blocks, stores)  # keep block tags
+        for addrs, blocks, stores in lt.iter_transaction_chunks():
+            nlt.record_transaction_stream(addrs, blocks, stores)
     return packed
 
 

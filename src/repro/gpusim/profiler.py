@@ -508,7 +508,7 @@ def profile_trace(trace: KernelTrace, model: "TimingModel") -> AppProfile:
                 l2_hits=ladder.l2_hits,
                 global_warp_insts=launch.global_warp_insts,
                 mem_transactions=launch.n_transactions,
-                dram_transactions=int(ladder.dram_addrs.size),
+                dram_transactions=ladder.dram_transactions,
                 dram_bytes=timing.dram_bytes,
                 channel_transactions=tuple(
                     int(c) for c in detail.channel_counts

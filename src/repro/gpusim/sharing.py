@@ -66,20 +66,24 @@ def analyze_gpu_sharing(
     blocks_per_line_sum = 0
     max_blocks = 0
     for lt in trace.launches:
-        addrs, blocks, _ = lt.transactions()
-        if addrs.size == 0:
+        if lt.n_transactions == 0:
             continue
-        lines = addrs // line_bytes
         n_blocks = max(1, lt.n_blocks)
-        pair = lines * n_blocks + blocks
-        uniq_pairs = np.unique(pair)
+        # Pass 1 (streaming): the distinct (line, block) pair set.
+        uniq_pairs = np.empty(0, dtype=np.int64)
+        for addrs, blocks, _ in lt.iter_transaction_chunks():
+            lines = addrs // line_bytes
+            uniq_pairs = np.union1d(uniq_pairs, lines * n_blocks + blocks)
         pair_lines = uniq_pairs // n_blocks
         uniq_lines, counts = np.unique(pair_lines, return_counts=True)
         shared_set = uniq_lines[counts > 1]
+        # Pass 2 (streaming): traffic to the now-known shared lines.
+        for addrs, _, _ in lt.iter_transaction_chunks():
+            lines = addrs // line_bytes
+            shared_tx += int(np.isin(lines, shared_set).sum())
         total_lines += int(uniq_lines.size)
         shared_lines += int(shared_set.size)
-        total_tx += int(addrs.size)
-        shared_tx += int(np.isin(lines, shared_set).sum())
+        total_tx += int(lt.n_transactions)
         blocks_per_line_sum += int(counts.sum())
         if counts.size:
             max_blocks = max(max_blocks, int(counts.max()))

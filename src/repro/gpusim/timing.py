@@ -98,12 +98,15 @@ class CacheLadder:
 
     The transaction stream enters at the top (``total`` accesses) and
     drains through whichever levels the configuration enables; whatever
-    misses everywhere lands in ``dram_addrs``.  ``avg_latency`` is the
-    access-weighted mean latency of the ladder.
+    misses everywhere goes to DRAM.  The surviving transactions are kept
+    only as aggregates — a count and per-channel totals — so pricing a
+    spilled out-of-core launch never materializes its address stream.
+    ``avg_latency`` is the access-weighted mean latency of the ladder.
     """
 
-    dram_addrs: np.ndarray
+    dram_transactions: int
     avg_latency: float
+    channel_counts: np.ndarray
     total: int = 0
     l1_accesses: int = 0
     l1_hits: int = 0
@@ -224,23 +227,6 @@ class TimingModel:
         )
         return float(counts.max() * cycles_per_tx)
 
-    def _channel_busy(
-        self, addrs: np.ndarray, weights: Optional[np.ndarray] = None
-    ) -> float:
-        """Busiest channel's service time, in core cycles."""
-        cfg = self.config
-        if addrs.size == 0:
-            return 0.0
-        if weights is None:
-            return self._busy_from_counts(self._channel_counts(addrs))
-        channels = (addrs >> 8) % cfg.n_mem_channels
-        counts = np.bincount(
-            channels.astype(np.int64),
-            weights=weights,
-            minlength=cfg.n_mem_channels,
-        )
-        return self._busy_from_counts(counts)
-
     def _filter_through_caches(
         self, launch: LaunchTrace, effective_sms: int
     ) -> CacheLadder:
@@ -250,59 +236,85 @@ class TimingModel:
         Without caches, all transactions go to DRAM at full latency.
         """
         cfg = self.config
-        addrs, blocks, stores = launch.transactions()
-        if addrs.size == 0:
-            return CacheLadder(addrs, float(cfg.mem_latency_cycles))
+        total = launch.n_transactions
+        n_ch = cfg.n_mem_channels
+        zeros = np.zeros(n_ch, dtype=np.int64)
+        if total == 0:
+            return CacheLadder(0, float(cfg.mem_latency_cycles), zeros)
         if not cfg.has_l1 and not cfg.has_l2:
+            counts = zeros
+            for addrs, _, _ in launch.iter_transaction_chunks():
+                counts = counts + self._channel_counts(addrs)
             return CacheLadder(
-                addrs, float(cfg.mem_latency_cycles), total=int(addrs.size)
+                int(total), float(cfg.mem_latency_cycles), counts,
+                total=int(total),
             )
 
-        total = addrs.size
-        l1_hits = 0
-        survivors = addrs
-        if cfg.has_l1:
-            n_sms = max(1, effective_sms)
-            if cfg.cta_scheduler == "chunked":
-                n_blocks = max(1, launch.n_blocks)
-                chunk = max(1, math.ceil(n_blocks / n_sms))
-                sms = np.minimum(blocks // chunk, n_sms - 1)
-            else:
-                sms = blocks % n_sms
-            l1s = [
+        n_sms = max(1, effective_sms)
+        l1s = (
+            [
                 CacheModel(cfg.l1_size, cfg.l1_assoc, TRANSACTION_BYTES)
-                for _ in range(max(1, effective_sms))
+                for _ in range(n_sms)
             ]
-            # Each SM's L1 sees an independent stream; boolean masking
-            # keeps per-SM time order, so one vectorizable access() call
-            # per SM replaces the per-transaction loop.
-            hit_mask = np.empty(total, dtype=bool)
-            for sm, l1 in enumerate(l1s):
-                mask = sms == sm
-                if mask.any():
-                    hit_mask[mask] = l1.access(addrs[mask])
-            l1_hits = int(hit_mask.sum())
-            survivors = addrs[~hit_mask]
-        l2_hits = 0
-        if cfg.has_l2 and survivors.size:
-            l2 = CacheModel(cfg.l2_size, cfg.l2_assoc, TRANSACTION_BYTES, hash_sets=True)
-            hit2 = l2.access(survivors)
-            l2_hits = int(hit2.sum())
-            dram = survivors[~hit2]
-        else:
-            dram = survivors
+            if cfg.has_l1
+            else None
+        )
+        l2 = (
+            CacheModel(cfg.l2_size, cfg.l2_assoc, TRANSACTION_BYTES,
+                       hash_sets=True)
+            if cfg.has_l2
+            else None
+        )
+        n_blocks = max(1, launch.n_blocks)
+        chunk = max(1, math.ceil(n_blocks / n_sms))
+        l1_hits = l2_hits = l2_accesses = dram_tx = 0
+        counts = zeros
+        # The caches persist across chunks (their state imports warm into
+        # the batch engine), so streaming the launch chunk by chunk is
+        # bit-identical to one dense pass.
+        for addrs, blocks, _ in launch.iter_transaction_chunks():
+            survivors = addrs
+            if l1s is not None:
+                if cfg.cta_scheduler == "chunked":
+                    sms = np.minimum(blocks // chunk, n_sms - 1)
+                else:
+                    sms = blocks % n_sms
+                # Each SM's L1 sees an independent stream; boolean
+                # masking keeps per-SM time order, so one vectorizable
+                # access() call per SM replaces the per-transaction loop.
+                hit_mask = np.empty(addrs.size, dtype=bool)
+                for sm, l1 in enumerate(l1s):
+                    mask = sms == sm
+                    if mask.any():
+                        hit_mask[mask] = l1.access(addrs[mask])
+                l1_hits += int(hit_mask.sum())
+                survivors = addrs[~hit_mask]
+            if l2 is not None:
+                l2_accesses += int(survivors.size)
+                if survivors.size:
+                    hit2 = l2.access(survivors)
+                    l2_hits += int(hit2.sum())
+                    dram = survivors[~hit2]
+                else:
+                    dram = survivors
+            else:
+                dram = survivors
+            dram_tx += int(dram.size)
+            if dram.size:
+                counts = counts + self._channel_counts(dram)
         lat = (
             l1_hits * cfg.l1_latency_cycles
             + l2_hits * cfg.l2_latency_cycles
-            + dram.size * cfg.mem_latency_cycles
+            + dram_tx * cfg.mem_latency_cycles
         ) / total
         return CacheLadder(
-            dram,
+            dram_tx,
             float(lat),
+            counts,
             total=int(total),
             l1_accesses=int(total) if cfg.has_l1 else 0,
+            l2_accesses=l2_accesses,
             l1_hits=l1_hits,
-            l2_accesses=int(survivors.size) if cfg.has_l2 else 0,
             l2_hits=l2_hits,
         )
 
@@ -336,7 +348,7 @@ class TimingModel:
 
         # Bandwidth-bound component (through caches when configured).
         ladder = self._filter_through_caches(launch, effective_sms)
-        channel_counts = self._channel_counts(ladder.dram_addrs)
+        channel_counts = ladder.channel_counts
         bandwidth_cycles = self._busy_from_counts(channel_counts)
 
         # Latency-bound component: per-SM transaction latency divided by
@@ -357,7 +369,7 @@ class TimingModel:
             latency_cycles=latency_cycles,
             ctas_per_sm=occ["ctas_per_sm"],
             resident_warps=actual_warps,
-            dram_bytes=int(ladder.dram_addrs.size) * TRANSACTION_BYTES,
+            dram_bytes=ladder.dram_transactions * TRANSACTION_BYTES,
             bound=bound,
             body_cycles=body,
             bound_margin=margin,

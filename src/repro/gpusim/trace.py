@@ -11,11 +11,15 @@ execution per workload).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
+from repro.common.chunkstore import ChunkStore
 from repro.gpusim.isa import TRANSACTION_BYTES, Category, Space
+
+#: Column layout of a launch's off-chip transaction stream.
+TX_DTYPES = (np.dtype(np.int64), np.dtype(np.int32), np.dtype(bool))
 
 
 class LaunchTrace:
@@ -46,12 +50,9 @@ class LaunchTrace:
         # invalidate its memoized aggregates without a back-reference.
         self._version = 0
 
-        # Off-chip transaction streams (global/local/texture-miss), kept as
-        # chunked arrays and concatenated lazily.
-        self._tx_addr_chunks: List[np.ndarray] = []
-        self._tx_block_chunks: List[np.ndarray] = []
-        self._tx_store_chunks: List[np.ndarray] = []
-        self._tx_final: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        # Off-chip transaction stream (global/local/texture-miss) as
+        # fixed-size column chunks that spill past the trace budget.
+        self._tx = ChunkStore(TX_DTYPES, label=f"gpu:{kernel_name}")
 
         self.tex_accesses = 0
         self.tex_hits = 0
@@ -92,13 +93,10 @@ class LaunchTrace:
         if addrs.size == 0:
             return
         self._version += 1
-        self._tx_final = None
-        self._tx_addr_chunks.append(np.asarray(addrs, dtype=np.int64))
-        self._tx_block_chunks.append(
-            np.full(addrs.size, block_idx, dtype=np.int32)
-        )
-        self._tx_store_chunks.append(
-            np.full(addrs.size, is_store, dtype=bool)
+        self._tx.append(
+            addrs,
+            np.full(addrs.size, block_idx, dtype=np.int32),
+            np.full(addrs.size, is_store, dtype=bool),
         )
 
     def record_transaction_stream(
@@ -113,10 +111,7 @@ class LaunchTrace:
         if addrs.size == 0:
             return
         self._version += 1
-        self._tx_final = None
-        self._tx_addr_chunks.append(np.asarray(addrs, dtype=np.int64))
-        self._tx_block_chunks.append(np.asarray(blocks, dtype=np.int32))
-        self._tx_store_chunks.append(np.asarray(stores, dtype=bool))
+        self._tx.append(addrs, blocks, stores)
 
     # ------------------------------------------------------------------
     # Derived views
@@ -130,26 +125,23 @@ class LaunchTrace:
         return self.block[0] * self.block[1]
 
     def transactions(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """(addr, block, is_store) arrays of all off-chip transactions."""
-        if self._tx_final is None:
-            if self._tx_addr_chunks:
-                self._tx_final = (
-                    np.concatenate(self._tx_addr_chunks),
-                    np.concatenate(self._tx_block_chunks),
-                    np.concatenate(self._tx_store_chunks),
-                )
-            else:
-                empty_i = np.empty(0, dtype=np.int64)
-                self._tx_final = (
-                    empty_i,
-                    np.empty(0, dtype=np.int32),
-                    np.empty(0, dtype=bool),
-                )
-        return self._tx_final
+        """(addr, block, is_store) arrays of all off-chip transactions.
+
+        Dense materialization — fine for short traces and oracles; the
+        streaming consumers iterate :meth:`iter_transaction_chunks`
+        instead so spilled chunks never re-assemble in memory.
+        """
+        return self._tx.columns()
+
+    def iter_transaction_chunks(
+        self,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """(addr, block, is_store) column chunks in record order."""
+        return self._tx.iter_chunks()
 
     @property
     def n_transactions(self) -> int:
-        return self.transactions()[0].size
+        return self._tx.n_rows
 
     @property
     def dram_bytes(self) -> int:

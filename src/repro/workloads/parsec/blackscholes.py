@@ -32,7 +32,8 @@ _INV_SQRT_2PI = 0.3989422804014327
 
 
 def cpu_sizes(scale: SimScale) -> dict:
-    n = {SimScale.TINY: 2048, SimScale.SMALL: 8192, SimScale.MEDIUM: 32768}[scale]
+    n = {SimScale.TINY: 2048, SimScale.SMALL: 8192, SimScale.MEDIUM: 32768,
+         SimScale.LARGE: 65536}[scale]
     return {"n": n, "runs": _NUM_RUNS}
 
 

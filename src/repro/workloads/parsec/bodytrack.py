@@ -37,6 +37,7 @@ def cpu_sizes(scale: SimScale) -> dict:
         SimScale.TINY: (48, 128),
         SimScale.SMALL: (96, 512),
         SimScale.MEDIUM: (160, 2000),
+        SimScale.LARGE: (256, 4000),
     }[scale]
     return {"h": res, "w": res, "frames": 4, "particles": parts}
 

@@ -34,7 +34,8 @@ _FANOUT = 4
 
 
 def cpu_sizes(scale: SimScale) -> dict:
-    n = {SimScale.TINY: 4096, SimScale.SMALL: 32768, SimScale.MEDIUM: 131072}[scale]
+    n = {SimScale.TINY: 4096, SimScale.SMALL: 32768, SimScale.MEDIUM: 131072,
+         SimScale.LARGE: 262144}[scale]
     # Swap budget scales with the netlist so annealing quality (and the
     # self-check's improvement threshold) holds at every scale.
     return {"n": n, "swaps_per_thread": max(768, n // 21), "temp_steps": 3}

@@ -37,7 +37,8 @@ _WINDOW = 8
 
 def cpu_sizes(scale: SimScale) -> dict:
     n = {SimScale.TINY: 32768, SimScale.SMALL: 131072,
-         SimScale.MEDIUM: 524288}[scale]
+         SimScale.MEDIUM: 524288,
+         SimScale.LARGE: 1048576}[scale]
     return {"n_bytes": n}
 
 

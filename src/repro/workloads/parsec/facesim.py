@@ -35,7 +35,8 @@ _DT = 0.01
 
 
 def cpu_sizes(scale: SimScale) -> dict:
-    e = {SimScale.TINY: 8, SimScale.SMALL: 14, SimScale.MEDIUM: 22}[scale]
+    e = {SimScale.TINY: 8, SimScale.SMALL: 14, SimScale.MEDIUM: 22,
+         SimScale.LARGE: 32}[scale]
     return {"nx": e, "ny": e, "nz": e, "iters": 3}
 
 

@@ -38,6 +38,7 @@ def cpu_sizes(scale: SimScale) -> dict:
         SimScale.TINY: (8, 512),
         SimScale.SMALL: (16, 2048),
         SimScale.MEDIUM: (64, 8192),
+        SimScale.LARGE: (128, 16384),
     }[scale]
     return {"n_queries": nq, "db_size": db}
 

@@ -38,7 +38,8 @@ _GRAV = -9.8
 
 
 def cpu_sizes(scale: SimScale) -> dict:
-    n = {SimScale.TINY: 512, SimScale.SMALL: 2048, SimScale.MEDIUM: 8192}[scale]
+    n = {SimScale.TINY: 512, SimScale.SMALL: 2048, SimScale.MEDIUM: 8192,
+         SimScale.LARGE: 16384}[scale]
     return {"n": n, "frames": 2}
 
 

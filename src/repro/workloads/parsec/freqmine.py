@@ -37,6 +37,7 @@ def cpu_sizes(scale: SimScale) -> dict:
         SimScale.TINY: (512, 64),
         SimScale.SMALL: (2048, 128),
         SimScale.MEDIUM: (8192, 256),
+        SimScale.LARGE: (16384, 384),
     }[scale]
     return {"n_transactions": nt, "n_items": ni, "minsup": max(4, nt // 64)}
 

@@ -34,6 +34,7 @@ def cpu_sizes(scale: SimScale) -> dict:
         SimScale.TINY: (40, 32),
         SimScale.SMALL: (64, 64),
         SimScale.MEDIUM: (128, 128),
+        SimScale.LARGE: (224, 224),
     }[scale]
     return {"h": res, "w": res, "n_spheres": ns}
 

@@ -35,6 +35,7 @@ def cpu_sizes(scale: SimScale) -> dict:
         SimScale.TINY: (8, 64),
         SimScale.SMALL: (16, 256),
         SimScale.MEDIUM: (32, 512),
+        SimScale.LARGE: (64, 1024),
     }[scale]
     return {"n_swaptions": ns, "trials": trials}
 

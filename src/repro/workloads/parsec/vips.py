@@ -35,6 +35,7 @@ def cpu_sizes(scale: SimScale) -> dict:
         SimScale.TINY: (96, 128),
         SimScale.SMALL: (192, 256),
         SimScale.MEDIUM: (384, 512),
+        SimScale.LARGE: (768, 1024),
     }[scale]
     return {"h": h, "w": w}
 

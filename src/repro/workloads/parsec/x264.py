@@ -42,7 +42,8 @@ _QP = 6
 
 
 def cpu_sizes(scale: SimScale) -> dict:
-    res = {SimScale.TINY: 48, SimScale.SMALL: 96, SimScale.MEDIUM: 160}[scale]
+    res = {SimScale.TINY: 48, SimScale.SMALL: 96, SimScale.MEDIUM: 160,
+           SimScale.LARGE: 288}[scale]
     return {"h": res, "w": res, "frames": 3}
 
 

@@ -40,12 +40,14 @@ _TARGET = 0.7
 
 
 def gpu_sizes(scale: SimScale) -> dict:
-    n = {SimScale.TINY: 1024, SimScale.SMALL: 8192, SimScale.MEDIUM: 32768}[scale]
+    n = {SimScale.TINY: 1024, SimScale.SMALL: 8192, SimScale.MEDIUM: 32768,
+         SimScale.LARGE: 65536}[scale]
     return {"n_in": n, "n_hidden": _HIDDEN}
 
 
 def cpu_sizes(scale: SimScale) -> dict:
-    n = {SimScale.TINY: 1024, SimScale.SMALL: 4096, SimScale.MEDIUM: 16384}[scale]
+    n = {SimScale.TINY: 1024, SimScale.SMALL: 4096, SimScale.MEDIUM: 16384,
+         SimScale.LARGE: 32768}[scale]
     return {"n_in": n, "n_hidden": _HIDDEN}
 
 

@@ -36,12 +36,14 @@ _BLOCK = 256
 
 
 def gpu_sizes(scale: SimScale) -> dict:
-    n = {SimScale.TINY: 2048, SimScale.SMALL: 16384, SimScale.MEDIUM: 65536}[scale]
+    n = {SimScale.TINY: 2048, SimScale.SMALL: 16384, SimScale.MEDIUM: 65536,
+         SimScale.LARGE: 131072}[scale]
     return {"n": n, "deg": 6}
 
 
 def cpu_sizes(scale: SimScale) -> dict:
-    n = {SimScale.TINY: 2048, SimScale.SMALL: 8192, SimScale.MEDIUM: 32768}[scale]
+    n = {SimScale.TINY: 2048, SimScale.SMALL: 8192, SimScale.MEDIUM: 32768,
+         SimScale.LARGE: 65536}[scale]
     return {"n": n, "deg": 6}
 
 

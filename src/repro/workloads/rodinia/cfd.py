@@ -43,13 +43,15 @@ _DT = 1e-3
 
 def gpu_sizes(scale: SimScale) -> dict:
     nx, ny = {SimScale.TINY: (24, 24), SimScale.SMALL: (64, 48),
-              SimScale.MEDIUM: (96, 96)}[scale]
+              SimScale.MEDIUM: (96, 96),
+              SimScale.LARGE: (160, 160)}[scale]
     return {"nx": nx, "ny": ny, "nz": 2, "iters": 2}
 
 
 def cpu_sizes(scale: SimScale) -> dict:
     nx, ny = {SimScale.TINY: (16, 16), SimScale.SMALL: (40, 32),
-              SimScale.MEDIUM: (64, 64)}[scale]
+              SimScale.MEDIUM: (64, 64),
+              SimScale.LARGE: (112, 112)}[scale]
     return {"nx": nx, "ny": ny, "nz": 2, "iters": 2}
 
 

@@ -50,12 +50,14 @@ _BLOCK = 128        # 81 active lanes + tail
 
 
 def gpu_sizes(scale: SimScale) -> dict:
-    h = {SimScale.TINY: 64, SimScale.SMALL: 96, SimScale.MEDIUM: 192}[scale]
+    h = {SimScale.TINY: 64, SimScale.SMALL: 96, SimScale.MEDIUM: 192,
+         SimScale.LARGE: 320}[scale]
     return {"h": h, "w": h, "frames": 4, "n_inner": 16, "n_outer": 24}
 
 
 def cpu_sizes(scale: SimScale) -> dict:
-    h = {SimScale.TINY: 64, SimScale.SMALL: 96, SimScale.MEDIUM: 128}[scale]
+    h = {SimScale.TINY: 64, SimScale.SMALL: 96, SimScale.MEDIUM: 128,
+         SimScale.LARGE: 224}[scale]
     return {"h": h, "w": h, "frames": 4, "n_inner": 16, "n_outer": 24}
 
 

@@ -45,13 +45,17 @@ _STEP = 0.001
 
 
 def gpu_sizes(scale: SimScale) -> dict:
-    r = {SimScale.TINY: 48, SimScale.SMALL: 144, SimScale.MEDIUM: 288}[scale]
-    return {"rows": r, "cols": r, "steps": 6}
+    r = {SimScale.TINY: 48, SimScale.SMALL: 144, SimScale.MEDIUM: 288,
+         SimScale.LARGE: 1152}[scale]
+    return {"rows": r, "cols": r,
+            "steps": 28 if scale is SimScale.LARGE else 6}
 
 
 def cpu_sizes(scale: SimScale) -> dict:
-    r = {SimScale.TINY: 32, SimScale.SMALL: 64, SimScale.MEDIUM: 128}[scale]
-    return {"rows": r, "cols": r, "steps": 4}
+    r = {SimScale.TINY: 32, SimScale.SMALL: 64, SimScale.MEDIUM: 128,
+         SimScale.LARGE: 448}[scale]
+    return {"rows": r, "cols": r,
+            "steps": 8 if scale is SimScale.LARGE else 4}
 
 
 def _inputs(p: dict):

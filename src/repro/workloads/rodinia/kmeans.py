@@ -40,6 +40,7 @@ def gpu_sizes(scale: SimScale) -> dict:
         SimScale.TINY: (1024, 8),
         SimScale.SMALL: (8192, 16),
         SimScale.MEDIUM: (16384, 34),
+        SimScale.LARGE: (32768, 34),
     }[scale]
     return {"n": n, "f": f, "k": 5, "max_iters": 5}
 
@@ -49,6 +50,7 @@ def cpu_sizes(scale: SimScale) -> dict:
         SimScale.TINY: (512, 8),
         SimScale.SMALL: (2048, 16),
         SimScale.MEDIUM: (8192, 34),
+        SimScale.LARGE: (16384, 34),
     }[scale]
     return {"n": n, "f": f, "k": 5, "max_iters": 5}
 

@@ -45,13 +45,15 @@ _DILATE_R = 3
 
 def gpu_sizes(scale: SimScale) -> dict:
     h, w = {SimScale.TINY: (40, 80), SimScale.SMALL: (80, 160),
-            SimScale.MEDIUM: (160, 320)}[scale]
+            SimScale.MEDIUM: (160, 320),
+            SimScale.LARGE: (256, 512)}[scale]
     return {"h": h, "w": w, "n_cells": 4}
 
 
 def cpu_sizes(scale: SimScale) -> dict:
     h, w = {SimScale.TINY: (40, 80), SimScale.SMALL: (64, 128),
-            SimScale.MEDIUM: (128, 256)}[scale]
+            SimScale.MEDIUM: (128, 256),
+            SimScale.LARGE: (192, 384)}[scale]
     return {"h": h, "w": w, "n_cells": 4}
 
 

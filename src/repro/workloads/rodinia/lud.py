@@ -36,12 +36,14 @@ _B = 16
 
 
 def gpu_sizes(scale: SimScale) -> dict:
-    n = {SimScale.TINY: 64, SimScale.SMALL: 128, SimScale.MEDIUM: 256}[scale]
+    n = {SimScale.TINY: 64, SimScale.SMALL: 128, SimScale.MEDIUM: 256,
+         SimScale.LARGE: 512}[scale]
     return {"n": n}
 
 
 def cpu_sizes(scale: SimScale) -> dict:
-    n = {SimScale.TINY: 48, SimScale.SMALL: 96, SimScale.MEDIUM: 192}[scale]
+    n = {SimScale.TINY: 48, SimScale.SMALL: 96, SimScale.MEDIUM: 192,
+         SimScale.LARGE: 384}[scale]
     return {"n": n}
 
 

@@ -47,6 +47,7 @@ def gpu_sizes(scale: SimScale) -> dict:
         SimScale.TINY: (2000, 512),
         SimScale.SMALL: (12000, 4096),
         SimScale.MEDIUM: (40000, 12288),
+        SimScale.LARGE: (80000, 24576),
     }[scale]
     return {"ref_len": ref, "n_queries": nq, "read_len": _READ_LEN}
 
@@ -56,6 +57,7 @@ def cpu_sizes(scale: SimScale) -> dict:
         SimScale.TINY: (2000, 512),
         SimScale.SMALL: (8000, 2048),
         SimScale.MEDIUM: (30000, 8192),
+        SimScale.LARGE: (60000, 16384),
     }[scale]
     return {"ref_len": ref, "n_queries": nq, "read_len": _READ_LEN}
 

@@ -38,12 +38,14 @@ _PENALTY = 10
 
 
 def gpu_sizes(scale: SimScale) -> dict:
-    n = {SimScale.TINY: 64, SimScale.SMALL: 256, SimScale.MEDIUM: 512}[scale]
+    n = {SimScale.TINY: 64, SimScale.SMALL: 256, SimScale.MEDIUM: 512,
+         SimScale.LARGE: 1024}[scale]
     return {"n": n}
 
 
 def cpu_sizes(scale: SimScale) -> dict:
-    n = {SimScale.TINY: 64, SimScale.SMALL: 192, SimScale.MEDIUM: 384}[scale]
+    n = {SimScale.TINY: 64, SimScale.SMALL: 192, SimScale.MEDIUM: 384,
+         SimScale.LARGE: 768}[scale]
     return {"n": n}
 
 

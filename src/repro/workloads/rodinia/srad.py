@@ -39,12 +39,15 @@ _LAMBDA = 0.5
 
 
 def gpu_sizes(scale: SimScale) -> dict:
-    r = {SimScale.TINY: 64, SimScale.SMALL: 160, SimScale.MEDIUM: 320}[scale]
-    return {"rows": r, "cols": r, "iters": 2}
+    r = {SimScale.TINY: 64, SimScale.SMALL: 160, SimScale.MEDIUM: 320,
+         SimScale.LARGE: 1280}[scale]
+    return {"rows": r, "cols": r,
+            "iters": 6 if scale is SimScale.LARGE else 2}
 
 
 def cpu_sizes(scale: SimScale) -> dict:
-    r = {SimScale.TINY: 32, SimScale.SMALL: 64, SimScale.MEDIUM: 128}[scale]
+    r = {SimScale.TINY: 32, SimScale.SMALL: 64, SimScale.MEDIUM: 128,
+         SimScale.LARGE: 256}[scale]
     return {"rows": r, "cols": r, "iters": 2}
 
 

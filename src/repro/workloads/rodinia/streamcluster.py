@@ -41,6 +41,7 @@ def gpu_sizes(scale: SimScale) -> dict:
         SimScale.TINY: (1024, 16),
         SimScale.SMALL: (8192, 32),
         SimScale.MEDIUM: (16384, 64),
+        SimScale.LARGE: (32768, 64),
     }[scale]
     return {"n": n, "dims": d, "n_candidates": 8}
 
@@ -50,6 +51,7 @@ def cpu_sizes(scale: SimScale) -> dict:
         SimScale.TINY: (512, 16),
         SimScale.SMALL: (2048, 32),
         SimScale.MEDIUM: (8192, 64),
+        SimScale.LARGE: (16384, 64),
     }[scale]
     return {"n": n, "dims": d, "n_candidates": 8}
 

@@ -42,6 +42,19 @@ def test_cpu_metrics_round_trip(cache):
     assert loaded.all_features() == metrics.all_features()
 
 
+def test_reads_refresh_mtime_for_lru(cache):
+    """A hit must touch the entry or LRU pruning evicts hot artifacts."""
+    import os
+
+    metrics = _sample_metrics()
+    cache.put_cpu("demo", SimScale.TINY, "abc123", metrics)
+    path = cache._path("cpu", "demo", SimScale.TINY, "abc123", ".json")
+    stale = 1_000_000_000.0  # 2001 — long before any test run
+    os.utime(path, (stale, stale))
+    assert cache.get_cpu("demo", SimScale.TINY, "abc123") is not None
+    assert path.stat().st_mtime > stale
+
+
 def test_missing_and_corrupt_entries_miss(cache, tmp_path):
     assert cache.get_cpu("demo", SimScale.TINY, "nothere") is None
     path = cache._path("cpu", "demo", SimScale.TINY, "bad", ".json")

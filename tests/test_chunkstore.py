@@ -1,0 +1,161 @@
+"""Unit tests of the chunked columnar trace store.
+
+The store is the load-bearing wall of the out-of-core pipeline: every
+other chunked component assumes deterministic chunk boundaries, faithful
+round-trips through spill segments, and a ledger that tracks sealed
+bytes exactly.  These tests pin each of those contracts directly.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.common import config as cfgmod
+from repro.common.chunkstore import ChunkStore, ledger_bytes
+
+DTYPES = (np.dtype(np.int64), np.dtype(np.int16), np.dtype(bool))
+
+
+def _cols(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, 1 << 40, n).astype(np.int64),
+        rng.integers(0, 8, n).astype(np.int16),
+        (rng.random(n) < 0.5),
+    )
+
+
+def _fill(store, cols, piece_sizes):
+    pos = 0
+    for sz in piece_sizes:
+        store.append(*(c[pos : pos + sz] for c in cols))
+        pos += sz
+    assert pos == cols[0].size
+
+
+def test_roundtrip_dense_and_chunked():
+    cols = _cols(1000)
+    store = ChunkStore(DTYPES, chunk_rows=128)
+    _fill(store, cols, [1000])
+    assert store.n_rows == 1000
+    out = store.columns()
+    for a, b in zip(cols, out):
+        assert a.dtype == b.dtype
+        np.testing.assert_array_equal(a, b)
+    # Chunk sizes: full chunks then the open tail.
+    sizes = [c[0].size for c in store.iter_chunks()]
+    assert sizes == [128] * 7 + [104]
+
+
+def test_chunk_boundaries_independent_of_append_pattern():
+    cols = _cols(500, seed=1)
+    patterns = [[500], [1] * 500, [499, 1], [7] * 71 + [3], [250, 250]]
+    reference = None
+    for pattern in patterns:
+        store = ChunkStore(DTYPES, chunk_rows=64)
+        _fill(store, cols, pattern)
+        chunks = [tuple(a.copy() for a in c) for c in store.iter_chunks()]
+        sizes = [c[0].size for c in chunks]
+        assert sizes == [64] * 7 + [52], pattern
+        if reference is None:
+            reference = chunks
+        else:
+            for ra, ca in zip(reference, chunks):
+                for x, y in zip(ra, ca):
+                    np.testing.assert_array_equal(x, y)
+
+
+def test_zero_length_append_is_noop():
+    store = ChunkStore(DTYPES, chunk_rows=16)
+    store.append(*_cols(0))
+    assert store.n_rows == 0
+    assert list(store.iter_chunks()) == []
+    assert all(c.size == 0 for c in store.columns())
+    cols = _cols(10, seed=2)
+    store.append(*cols)
+    store.append(*_cols(0))
+    np.testing.assert_array_equal(store.columns()[0], cols[0])
+
+
+def test_column_validation():
+    store = ChunkStore(DTYPES, chunk_rows=16)
+    with pytest.raises(ValueError):
+        store.append(np.zeros(3, dtype=np.int64))
+    with pytest.raises(ValueError):
+        store.append(
+            np.zeros(3, dtype=np.int64),
+            np.zeros(2, dtype=np.int16),
+            np.zeros(3, dtype=bool),
+        )
+    with pytest.raises(ValueError):
+        ChunkStore(DTYPES, chunk_rows=0)
+
+
+def test_spill_and_reload_preserves_stream():
+    cols = _cols(4000, seed=3)
+    # Budget of one chunk's bytes: nearly everything sealed must spill.
+    rowbytes = sum(d.itemsize for d in DTYPES)
+    store = ChunkStore(DTYPES, chunk_rows=256, budget_bytes=256 * rowbytes)
+    _fill(store, cols, [777, 777, 777, 777, 892])
+    spilled = sum(1 for c in store._sealed if not c.in_memory)
+    assert spilled >= 13  # 15 sealed chunks, at most ~1 in memory
+    for a, b in zip(cols, store.columns()):
+        np.testing.assert_array_equal(a, b)
+    # Re-iteration works after spill (chunks stay on disk).
+    sizes = [c[0].size for c in store.iter_chunks()]
+    assert sizes == [256] * 15 + [160]
+    sizes2 = [c[0].size for c in store.iter_chunks()]
+    assert sizes == sizes2
+
+
+def test_ledger_accounting_and_release():
+    base = ledger_bytes()
+    store = ChunkStore(DTYPES, chunk_rows=100, budget_bytes=0)
+    _fill(store, _cols(1000, seed=4), [1000])
+    sealed_bytes = sum(c.nbytes for c in store._sealed)
+    assert sealed_bytes > 0
+    assert ledger_bytes() == base + sealed_bytes
+    del store
+    assert ledger_bytes() == base
+
+
+def test_budget_zero_disables_spilling():
+    store = ChunkStore(DTYPES, chunk_rows=64, budget_bytes=0)
+    _fill(store, _cols(1000, seed=5), [1000])
+    assert all(c.in_memory for c in store._sealed)
+
+
+def test_budget_spills_other_stores_in_creation_order():
+    rowbytes = sum(d.itemsize for d in DTYPES)
+    older = ChunkStore(DTYPES, chunk_rows=64, budget_bytes=0)
+    _fill(older, _cols(128, seed=6), [128])
+    assert all(c.in_memory for c in older._sealed)
+    # The newer store's budget is one chunk: its first seal pushes the
+    # ledger over, it spills itself dry, then reaches across to the
+    # older store's resident chunks.
+    newer = ChunkStore(DTYPES, chunk_rows=64, budget_bytes=64 * rowbytes)
+    _fill(newer, _cols(256, seed=7), [256])
+    assert not all(c.in_memory for c in newer._sealed)
+    assert not all(c.in_memory for c in older._sealed)
+    for a, b in zip(_cols(128, seed=6), older.columns()):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_pickle_roundtrip_materializes():
+    cols = _cols(300, seed=8)
+    rowbytes = sum(d.itemsize for d in DTYPES)
+    store = ChunkStore(DTYPES, chunk_rows=32, budget_bytes=32 * rowbytes)
+    _fill(store, cols, [300])
+    clone = pickle.loads(pickle.dumps(store))
+    assert clone.n_rows == 300
+    for a, b in zip(cols, clone.columns()):
+        np.testing.assert_array_equal(a, b)
+    assert clone.chunk_rows == store.chunk_rows
+
+
+def test_config_defaults_resolve_from_override():
+    with cfgmod.override(trace_chunk_rows=77, trace_budget=12345):
+        store = ChunkStore(DTYPES)
+    assert store.chunk_rows == 77
+    assert store.budget_bytes == 12345

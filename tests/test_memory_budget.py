@@ -1,0 +1,107 @@
+"""LARGE-tier runs must fit a hard memory budget (out-of-core proof).
+
+Each case executes one workload at ``SimScale.LARGE`` (>=10M trace
+records) in a subprocess whose address space is capped with
+``resource.setrlimit`` and whose trace budget (``REPRO_TRACE_BUDGET``)
+is far below the dense trace size — so the run only completes if the
+chunked pipeline actually spills and streams.  The subprocess also
+asserts its ``ru_maxrss`` against a tighter soft cap and that spill
+telemetry fired.
+
+These runs cost ~30-60 s each, so they are opt-in: set
+``REPRO_MEMBUDGET=1`` (the CI memory-budget job does).
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_MEMBUDGET", "").strip().lower()
+    not in ("1", "yes", "true", "on"),
+    reason="memory-budget runs are opt-in (set REPRO_MEMBUDGET=1)",
+)
+
+#: Trace budget for the child: ~half the dense LARGE trace (so sealed
+#: chunks must spill), while leaving room for analysis carry state.
+TRACE_BUDGET = "64M"
+
+#: Chunk rows for the child: small enough that even per-launch GPU
+#: stores (a few hundred thousand transactions each) seal chunks and
+#: participate in the budget, instead of living in open tails.
+TRACE_CHUNK_ROWS = str(1 << 18)
+
+_CHILD = textwrap.dedent("""
+    import resource, sys
+
+    kind, name, rss_cap_mb = sys.argv[1], sys.argv[2], int(sys.argv[3])
+    # Hard backstop: the kernel kills any allocation past the cap.
+    cap = (rss_cap_mb + 2048) * 1024 * 1024
+    resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+
+    from repro import telemetry
+    from repro.common.config import SimScale
+    from repro.workloads import base as wl
+
+    wl.load_all()
+    telemetry.start()
+
+    if kind == "cpu":
+        from repro.cpusim import Machine
+        from repro.cpusim.metrics import characterize_trace
+
+        machine = Machine()
+        wl.get(name).cpu_fn(machine, SimScale.LARGE)
+        n = machine.n_accesses
+        characterize_trace(machine, name)
+    else:
+        from repro.gpusim import GPUConfig, TimingModel
+        from repro.gpusim.gpu import GPU
+
+        gpu = GPU(app_name=name)
+        wl.get(name).gpu_fn(gpu, SimScale.LARGE)
+        n = sum(lt.n_transactions for lt in gpu.trace.launches)
+        TimingModel(GPUConfig()).time(gpu.trace)
+
+    assert n >= 10_000_000, f"LARGE must trace >=10M records, got {n}"
+    spilled = telemetry.stop()["counters"].get("chunkstore.spill.chunks", 0)
+    assert spilled > 0, "budget was set to force spill; none happened"
+    rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss // 1024
+    assert rss_mb <= rss_cap_mb, f"peak RSS {rss_mb}MB > cap {rss_cap_mb}MB"
+    print(f"OK {kind}/{name}: n={n} spilled={spilled} rss={rss_mb}MB")
+""")
+
+
+@pytest.mark.parametrize(
+    "kind,name,rss_cap_mb",
+    [
+        ("cpu", "hotspot", 1024),
+        ("gpu", "hotspot", 3072),
+        ("gpu", "srad", 3072),
+    ],
+)
+def test_large_run_fits_memory_budget(kind, name, rss_cap_mb):
+    env = dict(os.environ)
+    env["REPRO_TRACE_BUDGET"] = TRACE_BUDGET
+    env["REPRO_TRACE_CHUNK"] = TRACE_CHUNK_ROWS
+    env["REPRO_CACHE"] = "off"
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (
+            os.path.join(os.path.dirname(__file__), os.pardir, "src"),
+            env.get("PYTHONPATH"),
+        ) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, kind, name, str(rss_cap_mb)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{kind}/{name} failed under budget:\n{proc.stdout}\n{proc.stderr}"
+    )
+    assert f"OK {kind}/{name}" in proc.stdout
