@@ -1,0 +1,86 @@
+"""Load benchmark of the experiment service (:mod:`repro.service`).
+
+The service exists to amortize cold experiment executions: a warm hit
+is a cache read plus HTTP framing, so it must be dramatically cheaper
+than the execution it replaces, and M identical concurrent cold
+requests must cost exactly one execution (coalescing).  Both claims
+are asserted here with the shared load generator
+(:func:`repro.service.run_load`) so their trajectory lands in
+``BENCH_timings.json``:
+
+- ``test_warm_vs_cold_speedup`` — warm p50 must be >= 50x faster than
+  the cold execution it short-circuits, at SMALL scale.
+- ``test_coalescing_collapses_identical_cold_requests`` — N identical
+  concurrent cold requests -> one execution, N identical payloads.
+"""
+
+from repro.api import ExperimentRequest
+from repro.common.config import SimScale
+from repro.service import ServiceClient, run_load, spawn_service
+from repro.service.client import percentile
+
+#: The SMALL-scale experiment the acceptance bar is measured on.
+_EXPERIMENT = "table1"
+_WARM_REQUESTS = 48
+_WARM_CLIENTS = 4
+_COALESCE_CLIENTS = 6
+
+
+def test_warm_vs_cold_speedup(scale, tmp_path):
+    req = ExperimentRequest(_EXPERIMENT, SimScale.SMALL)
+    with spawn_service(
+        port=0, workers=1, queue_limit=8,
+        cache_dir=str(tmp_path / "cache"), registry_dir="",
+    ) as service:
+        with ServiceClient(service.host, service.port) as client:
+            cold = client.submit(req)
+        assert cold.ok and cold.served == "cold"
+        report = run_load(
+            service.host, service.port,
+            [req] * _WARM_REQUESTS, clients=_WARM_CLIENTS,
+        )
+    assert report.errors == 0
+    warm = report.by_served("warm")
+    assert len(warm) == _WARM_REQUESTS  # every repeat hit the cache
+    warm_p50 = percentile(warm, 50)
+    warm_p99 = percentile(warm, 99)
+    speedup = cold.latency_s / warm_p50
+    print(
+        f"\n[{_EXPERIMENT}@small] cold {cold.latency_s * 1e3:.1f} ms, "
+        f"warm p50 {warm_p50 * 1e3:.2f} ms / p99 {warm_p99 * 1e3:.2f} ms "
+        f"({_WARM_CLIENTS} clients): {speedup:.0f}x"
+    )
+    print(report.table().render())
+    assert speedup >= 50.0, (
+        f"warm hits only {speedup:.1f}x faster than cold "
+        f"({warm_p50 * 1e3:.2f} ms vs {cold.latency_s * 1e3:.1f} ms)"
+    )
+
+
+def test_coalescing_collapses_identical_cold_requests(scale, tmp_path):
+    req = ExperimentRequest(_EXPERIMENT, SimScale.SMALL)
+    registry = tmp_path / "registry"
+    with spawn_service(
+        port=0, workers=2, queue_limit=8,
+        cache_dir=str(tmp_path / "cache"), registry_dir=str(registry),
+    ) as service:
+        report = run_load(
+            service.host, service.port,
+            [req] * _COALESCE_CLIENTS, clients=_COALESCE_CLIENTS,
+        )
+        snap = service.stats.snapshot()
+    assert report.errors == 0 and report.rejected == 0
+    # Exactly one execution: one cold leader, one registry record (the
+    # worker writes one per execution), everyone else coalesced onto it.
+    assert snap["cold"] == 1
+    assert snap["coalesced"] == _COALESCE_CLIENTS - 1
+    assert len(list(registry.glob("experiment-*.json"))) == 1
+    # ... and every requester got the same bytes.
+    bodies = {r.text for r in report.replies if r.ok}
+    assert len(bodies) == 1
+    print(
+        f"\n[{_EXPERIMENT}@small] {_COALESCE_CLIENTS} identical concurrent "
+        f"requests -> 1 execution "
+        f"(coalescing ratio {report.coalescing_ratio():.3f})"
+    )
+    print(report.table().render())

@@ -80,17 +80,29 @@ DEFAULT_TRACE_BUDGET = 512 * 1024 * 1024
 #: Default rows per column chunk of a trace store.
 DEFAULT_TRACE_CHUNK_ROWS = 1 << 20
 
+#: Experiment-service defaults (see repro.service / docs/SERVICE.md).
+DEFAULT_SERVICE_HOST = "127.0.0.1"
+DEFAULT_SERVICE_PORT = 8177
+DEFAULT_SERVICE_WORKERS = 2
+DEFAULT_SERVICE_QUEUE = 8
+
 _ENV_VARS = (
     "REPRO_GPU_BATCH",
     "REPRO_GPU_BATCH_LANES",
     "REPRO_GPU_PLAN",
     "REPRO_CACHE",
     "REPRO_CACHE_DIR",
+    "REPRO_CACHE_BUDGET",
+    "REPRO_CACHE_ENTRIES",
     "REPRO_TRACE",
     "REPRO_TRACE_BUDGET",
     "REPRO_TRACE_CHUNK",
     "REPRO_PROFILE",
     "REPRO_REGISTRY",
+    "REPRO_SERVICE_HOST",
+    "REPRO_SERVICE_PORT",
+    "REPRO_SERVICE_WORKERS",
+    "REPRO_SERVICE_QUEUE",
 )
 
 
@@ -144,6 +156,20 @@ class RuntimeConfig:
                        default) disables persisting run records.  The
                        experiment CLI turns this on with
                        ``DEFAULT_REGISTRY_DIR`` unless told otherwise.
+    cache_budget_bytes   -- artifact-cache size budget enforced by
+                       ``ArtifactCache.prune`` after writes
+                       (``REPRO_CACHE_BUDGET``, suffixes k/m/g;
+                       0, the default, means unbounded).
+    cache_budget_entries -- artifact-cache entry-count budget
+                       (``REPRO_CACHE_ENTRIES``; 0 means unbounded).
+    service_host    -- experiment-service bind address
+                       (``REPRO_SERVICE_HOST``).
+    service_port    -- experiment-service port (``REPRO_SERVICE_PORT``;
+                       0 lets the OS pick).
+    service_workers -- cold-execution process-pool width
+                       (``REPRO_SERVICE_WORKERS``).
+    service_queue   -- max in-flight cold requests before the service
+                       answers 429 (``REPRO_SERVICE_QUEUE``).
     """
 
     gpu_batch: bool = True
@@ -156,6 +182,12 @@ class RuntimeConfig:
     trace_chunk_rows: int = DEFAULT_TRACE_CHUNK_ROWS
     profile: bool = False
     registry_dir: Optional[str] = None
+    cache_budget_bytes: int = 0
+    cache_budget_entries: int = 0
+    service_host: str = DEFAULT_SERVICE_HOST
+    service_port: int = DEFAULT_SERVICE_PORT
+    service_workers: int = DEFAULT_SERVICE_WORKERS
+    service_queue: int = DEFAULT_SERVICE_QUEUE
 
     @classmethod
     def from_env(cls) -> "RuntimeConfig":
@@ -177,6 +209,13 @@ class RuntimeConfig:
         chunk_rows = _parse_bytes(
             os.environ.get("REPRO_TRACE_CHUNK"), DEFAULT_TRACE_CHUNK_ROWS
         )
+
+        def _int_env(var: str, default: int, minimum: int = 0) -> int:
+            try:
+                return max(minimum, int(os.environ.get(var, "")))
+            except ValueError:
+                return default
+
         return cls(
             gpu_batch=_env_true(os.environ.get("REPRO_GPU_BATCH")),
             gpu_batch_lanes=lanes,
@@ -188,6 +227,20 @@ class RuntimeConfig:
             trace_chunk_rows=max(1, chunk_rows),
             profile=_env_true(os.environ.get("REPRO_PROFILE"), default=False),
             registry_dir=registry_dir,
+            cache_budget_bytes=_parse_bytes(
+                os.environ.get("REPRO_CACHE_BUDGET"), 0
+            ),
+            cache_budget_entries=_int_env("REPRO_CACHE_ENTRIES", 0),
+            service_host=os.environ.get(
+                "REPRO_SERVICE_HOST", DEFAULT_SERVICE_HOST
+            ) or DEFAULT_SERVICE_HOST,
+            service_port=_int_env("REPRO_SERVICE_PORT", DEFAULT_SERVICE_PORT),
+            service_workers=_int_env(
+                "REPRO_SERVICE_WORKERS", DEFAULT_SERVICE_WORKERS, minimum=1
+            ),
+            service_queue=_int_env(
+                "REPRO_SERVICE_QUEUE", DEFAULT_SERVICE_QUEUE, minimum=1
+            ),
         )
 
 

@@ -30,6 +30,25 @@ When telemetry is active every lookup lands on an
 ``artifacts.{cpu,gpu}.{hit,miss}`` counter and every store on
 ``artifacts.{cpu,gpu}.put``, so a trace shows exactly how effective the
 cache was for a run.
+
+Concurrency contract (the experiment service leans on this):
+
+- **Reads are lock-free.**  Payloads are only ever published by atomic
+  rename, so a reader sees a complete file or a miss — never a torn
+  write.  A file that a concurrent pruner unlinks between ``glob`` and
+  ``open`` (the mtime-LRU TOCTOU) degrades to a miss; the read-side
+  mtime touch tolerates the same race.
+- **Writes take a per-key-prefix lock** (``O_EXCL`` lockfile under
+  ``<root>/.locks/``, see :mod:`repro.common.locks`) keyed on the
+  first two hex digits of the content hash, so concurrent writers of
+  *different* key ranges never contend while same-key writers
+  serialize.  Lock acquisition failure downgrades to an unlocked (but
+  still atomic) write: duplicated work, never corruption.
+- **Pruning is single-flight.**  :meth:`ArtifactCache.prune` and
+  :meth:`ArtifactCache.prune_plans` take a non-blocking prune lock and
+  simply skip the pass when another process is already evicting; every
+  candidate is re-stat'ed immediately before ``unlink`` so a file that
+  was touched (used) or removed since the scan survives / is skipped.
 """
 
 from __future__ import annotations
@@ -41,10 +60,11 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional
 
 from repro import telemetry
 from repro.common.config import SimScale, config as runtime_config
+from repro.common.locks import LockTimeout, store_lock
 from repro.cpusim.metrics import CPUMetrics
 from repro.cpusim.sharing import SharingStats
 from repro.gpusim.trace import KernelTrace
@@ -127,21 +147,37 @@ class ArtifactCache:
         except OSError:
             pass
 
+    @staticmethod
+    def _key_shard(path: Path) -> str:
+        """Lock shard for one artifact: first 2 hex digits of its key."""
+        return path.stem.rsplit("-", 1)[-1][:2] or "00"
+
     def _write_atomic(self, path: Path, write_fn) -> None:
         # The temp file keeps the final suffix (np.savez appends ".npz"
         # to anything else) and lives in the same directory so the
-        # rename is atomic on the same filesystem.
+        # rename is atomic on the same filesystem.  The per-key-prefix
+        # lock serializes same-range writers (and fences the pruner);
+        # on timeout the write proceeds unlocked — rename keeps it
+        # atomic, the lock only avoids duplicate temp-file churn.
         self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=self.root, prefix=path.stem + ".tmp.", suffix=path.suffix
-        )
-        os.close(fd)
+        lock = store_lock(self.root, f"w-{self._key_shard(path)}")
         try:
-            write_fn(tmp)
-            os.replace(tmp, path)
+            lock.acquire()
+        except LockTimeout:
+            telemetry.count("artifacts.lock.timeout")
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=self.root, prefix=path.stem + ".tmp.", suffix=path.suffix
+            )
+            os.close(fd)
+            try:
+                write_fn(tmp)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
         finally:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
+            lock.release()
 
     # -- CPU metrics ----------------------------------------------------
     def cpu_key(self, name: str, scale: SimScale, cpu_fn,
@@ -173,6 +209,7 @@ class ArtifactCache:
 
         self._write_atomic(path, write)
         telemetry.count("artifacts.cpu.put")
+        self.prune()
 
     # -- GPU kernel traces ----------------------------------------------
     def gpu_key(self, name: str, scale: SimScale, version: int, gpu_fn,
@@ -199,6 +236,42 @@ class ArtifactCache:
         path = self._path("gpu", name, scale, key, ".npz")
         self._write_atomic(path, lambda tmp: save_trace(trace, tmp))
         telemetry.count("artifacts.gpu.put")
+        self.prune()
+
+    # -- generic JSON blobs (service responses, future artifact kinds) --
+    def get_json(self, kind: str, name: str, scale: SimScale,
+                 key: str) -> Optional[str]:
+        """Raw text of a JSON artifact, or None on miss.
+
+        Returns the stored bytes *verbatim* (decoded utf-8) after a
+        parse check: the experiment service's warm path must serve a
+        payload byte-identical to what the cold execution produced, so
+        re-serialization here would be a correctness bug.
+        """
+        path = self._path(kind, name, scale, key, ".json")
+        try:
+            text = path.read_text(encoding="utf-8")
+            json.loads(text)  # corruption check only
+        except (OSError, ValueError):
+            telemetry.count(f"artifacts.{kind}.miss")
+            return None
+        self._touch(path)
+        telemetry.count(f"artifacts.{kind}.hit")
+        return text
+
+    def put_json(self, kind: str, name: str, scale: SimScale, key: str,
+                 text: str) -> Path:
+        """Atomically persist pre-serialized JSON text under a key."""
+        path = self._path(kind, name, scale, key, ".json")
+
+        def write(tmp):
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(text)
+
+        self._write_atomic(path, write)
+        telemetry.count(f"artifacts.{kind}.put")
+        self.prune()
+        return path
 
     # -- GPU launch plans (repro.gpusim.plans) --------------------------
     def plan_path(self, kernel_name: str, key: str) -> Path:
@@ -232,30 +305,95 @@ class ArtifactCache:
         Returns the number of files removed.  The newest file always
         survives so a just-written plan cannot evict itself.
         """
+        evicted = self._evict_lru(
+            ("plan-*.npz",), max_entries, max_bytes, lock_name="prune-plans"
+        )
+        if evicted:
+            telemetry.count("artifacts.plan.evict", evicted)
+        return evicted
+
+    # -- eviction -------------------------------------------------------
+    #: Payload globs covered by the general size-budget prune.  Plans
+    #: keep their own (tighter) budget in :meth:`prune_plans`.
+    ARTIFACT_GLOBS = ("cpu-*.json", "gpu-*.npz", "resp-*.json")
+
+    def prune(self, max_entries: Optional[int] = None,
+              max_bytes: Optional[int] = None) -> int:
+        """Enforce the artifact size budget with mtime-LRU eviction.
+
+        Budgets default to the runtime config
+        (``REPRO_CACHE_BUDGET`` / ``REPRO_CACHE_ENTRIES``); a value of
+        0 means unbounded, and with both unbounded this is a no-op.
+        Safe (and cheap) to call after every put: concurrent pruners
+        single-flight on a lock, and every unlink re-checks that the
+        file was not used or removed since the scan.
+        """
+        cfg = runtime_config()
+        if max_entries is None:
+            max_entries = cfg.cache_budget_entries
+        if max_bytes is None:
+            max_bytes = cfg.cache_budget_bytes
+        if not max_entries and not max_bytes:
+            return 0
+        evicted = self._evict_lru(
+            self.ARTIFACT_GLOBS,
+            max_entries or (1 << 62),
+            max_bytes or (1 << 62),
+            lock_name="prune",
+        )
+        if evicted:
+            telemetry.count("artifacts.evict", evicted)
+        return evicted
+
+    def _evict_lru(self, globs: Iterable[str], max_entries: int,
+                   max_bytes: int, lock_name: str) -> int:
+        """Shared LRU eviction pass, concurrency-tolerant.
+
+        Single-flight: if another process holds the prune lock the
+        pass is skipped (it is doing the same work).  Before each
+        unlink the candidate is re-stat'ed — a file that vanished is
+        skipped, and one whose mtime advanced since the scan was just
+        *used* by a reader, so it is spared this round rather than
+        evicted out from under a warm hit.
+        """
+        lock = store_lock(self.root, lock_name)
+        if not lock.try_acquire():
+            return 0
         try:
             entries = []
-            for p in self.root.glob("plan-*.npz"):
-                try:
-                    st = p.stat()
-                except OSError:
+            try:
+                for pattern in globs:
+                    for p in self.root.glob(pattern):
+                        if ".tmp." in p.name:
+                            continue  # in-flight write, not a payload
+                        try:
+                            st = p.stat()
+                        except OSError:
+                            continue
+                        entries.append((st.st_mtime, st.st_size, p))
+            except OSError:
+                return 0
+            entries.sort(key=lambda e: e[0], reverse=True)
+            total = 0
+            evicted = 0
+            for kept, (mtime, size, p) in enumerate(entries, start=1):
+                total += size
+                if kept == 1 or (kept <= max_entries and total <= max_bytes):
                     continue
-                entries.append((st.st_mtime, st.st_size, p))
-        except OSError:
-            return 0
-        entries.sort(key=lambda e: e[0], reverse=True)
-        total = 0
-        evicted = 0
-        for kept, (_, size, p) in enumerate(entries, start=1):
-            total += size
-            if kept > 1 and (kept > max_entries or total > max_bytes):
+                try:
+                    st = p.stat()  # re-stat: tolerate concurrent use
+                except OSError:
+                    continue  # already gone — nothing to evict
+                if st.st_mtime > mtime:
+                    continue  # touched since the scan: recently used
                 try:
                     p.unlink()
                 except OSError:
                     continue
                 evicted += 1
-        if evicted:
-            telemetry.count("artifacts.plan.evict", evicted)
-        return evicted
+            return evicted
+        finally:
+            lock.release()
 
 
 # ----------------------------------------------------------------------

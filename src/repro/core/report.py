@@ -58,6 +58,31 @@ def render_drift(report, limit: int = 20) -> str:
     return "\n".join(lines)
 
 
+def render_response(response) -> str:
+    """Render an :class:`repro.api.ExperimentResponse` for humans.
+
+    The service and the registry exchange responses as canonical JSON;
+    this is the presentation of that same encoding — used by the
+    service client CLI paths so a response fetched over HTTP prints
+    exactly like a locally-run experiment, plus a provenance footer.
+    """
+    lines = []
+    if response.ok:
+        if response.rendered:
+            lines.append(response.rendered)
+    else:
+        lines.append(f"ERROR: {response.error}")
+    footer = (
+        f"[{response.experiment}@{response.scale.value} "
+        f"status={response.status} key={response.request_key}"
+    )
+    if response.run_id:
+        footer += f" run={response.run_id}"
+    footer += f" cold_duration={response.duration_s:.3f}s]"
+    lines.append(footer)
+    return "\n\n".join(lines)
+
+
 def _gpu_section(name: str, scale: SimScale) -> List[str]:
     trace = gpu_trace_for(name, scale)
     model28 = TimingModel(GPUConfig.sim_default())

@@ -15,13 +15,16 @@ report), and the raw ``data`` series for tests and benchmarks.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import importlib
 import time
-from typing import Any, Callable, Dict, List, Optional
+import warnings
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro import telemetry
-from repro.common.config import SimScale, config
+from repro.api import ExperimentRequest
+from repro.common.config import SimScale, config, override
 from repro.common.tables import Table
 
 
@@ -123,25 +126,60 @@ def get_driver(experiment: str) -> Callable:
 
 
 def run_experiment(
-    experiment: str, scale: SimScale = SimScale.SMALL
+    request: Union[ExperimentRequest, str],
+    scale: Optional[SimScale] = None,
 ) -> ExperimentResult:
     """Run one experiment under a telemetry span; the typed entry point.
 
+    The canonical spelling takes an
+    :class:`~repro.api.ExperimentRequest` — the same encoding the CLI,
+    the HTTP service, and the run registry speak — and applies its
+    validated config overrides around the driver call::
+
+        run_experiment(ExperimentRequest("fig1", SimScale.SMALL))
+
+    The historical ``run_experiment("fig1", scale)`` spelling still
+    works but emits a :class:`DeprecationWarning`; it is a shim that
+    builds the request object for you.
+
     Every consumer of the experiment layer (the CLI runner, the
-    benchmark harness, the report) goes through here, so every result
-    arrives with a uniform title, provenance metadata, and — when
-    telemetry is active — the id of the span covering the driver call.
+    benchmark harness, the report, the service) goes through here, so
+    every result arrives with a uniform title, provenance metadata
+    (including the request encoding itself), and — when telemetry is
+    active — the id of the span covering the driver call.
     """
+    if isinstance(request, ExperimentRequest):
+        if scale is not None:
+            raise TypeError(
+                "scale travels inside ExperimentRequest; "
+                "don't pass it separately"
+            )
+        req = request
+    else:
+        warnings.warn(
+            "run_experiment('id', scale) is deprecated; pass "
+            "repro.api.ExperimentRequest('id', scale) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        req = ExperimentRequest(
+            experiment=request,
+            scale=SimScale.SMALL if scale is None else scale,
+        )
+    experiment, req_scale = req.experiment, req.scale
     driver = get_driver(experiment)
+    ctx = override(**req.config) if req.config else contextlib.nullcontext()
     t0 = time.perf_counter()
-    with telemetry.span(
-        "experiment", experiment=experiment, scale=scale.value
-    ) as sp:
-        result = driver(scale)
-        # Timestamped cumulative totals per experiment boundary: gives
-        # JSONL traces a counter time series (rendered as stepped "C"
-        # tracks by the Chrome exporter) at one sample per experiment.
-        telemetry.sample_counters()
+    with ctx:
+        with telemetry.span(
+            "experiment", experiment=experiment, scale=req_scale.value
+        ) as sp:
+            result = driver(req_scale)
+            # Timestamped cumulative totals per experiment boundary:
+            # gives JSONL traces a counter time series (rendered as
+            # stepped "C" tracks by the Chrome exporter) at one sample
+            # per experiment.
+            telemetry.sample_counters()
     if not isinstance(result, ExperimentResult):
         raise TypeError(
             f"driver for {experiment!r} returned {type(result).__name__}, "
@@ -149,20 +187,21 @@ def run_experiment(
         )
     if not result.title:
         result.title = result.tables[0].title if result.tables else experiment
-    result.metadata.setdefault("scale", scale.value)
+    result.metadata.setdefault("scale", req_scale.value)
     result.metadata.setdefault(
         "duration_s", round(time.perf_counter() - t0, 3)
     )
     result.metadata.setdefault("n_tables", len(result.tables))
+    result.metadata.setdefault("request", req.to_dict())
     result.span_id = sp.id
     registry_dir = config().registry_dir
     if registry_dir:
-        _record_invocation(result, scale, registry_dir)
+        _record_invocation(result, req, registry_dir)
     return result
 
 
 def _record_invocation(
-    result: ExperimentResult, scale: SimScale, registry_dir: str
+    result: ExperimentResult, req: ExperimentRequest, registry_dir: str
 ) -> None:
     """Persist one invocation's metrics to the run registry.
 
@@ -174,10 +213,12 @@ def _record_invocation(
 
     record = record_from_results(
         [result],
-        scale.value,
+        req.scale.value,
         kind="experiment",
         counters=telemetry.counters(),
-        meta={"span_id": result.span_id},
+        # The registry record carries the request in the same typed
+        # encoding the service wire format uses (repro.api).
+        meta={"span_id": result.span_id, "request": req.to_dict()},
     )
     try:
         path = RunRegistry(registry_dir).save(record)

@@ -1,9 +1,23 @@
-"""Experiment CLI: ``python -m repro.experiments.runner fig1 [--scale small]``.
+"""Experiment CLI: ``python -m repro.experiments.runner <command> ...``.
 
-``all`` runs the complete evaluation in paper order and prints every
-table; the per-process memoization in :mod:`repro.core.features` means
-the workload executions are shared across experiments, and the on-disk
-artifact cache (:mod:`repro.core.artifacts`) shares them across *runs*.
+Subcommands:
+
+- ``run``     — regenerate tables/figures (the historical behaviour);
+  ``python -m repro.experiments.runner fig1 --scale small`` without a
+  subcommand is an alias for ``run fig1 --scale small``, so existing
+  docs, CI pipelines, and muscle memory keep working.
+- ``serve``   — start the experiment service daemon
+  (:mod:`repro.service`, see docs/SERVICE.md).
+- ``bench``   — drive a load-generation run against a service (an
+  already-running one, or ``--spawn`` a temporary in-process daemon).
+- ``goldens`` — regenerate the pinned golden references
+  (``repro.fidelity.goldens``).
+
+``run all`` runs the complete evaluation in paper order and prints
+every table; the per-process memoization in :mod:`repro.core.features`
+means the workload executions are shared across experiments, and the
+on-disk artifact cache (:mod:`repro.core.artifacts`) shares them
+across *runs*.
 
 ``--jobs N`` warms the artifact cache first by executing workloads in a
 process pool: functional executions are independent per workload, so
@@ -51,6 +65,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Optional
 
 from repro import telemetry
+from repro.api import ExperimentRequest
 from repro.common.config import (
     DEFAULT_REGISTRY_DIR,
     FALSE_VALUES,
@@ -156,9 +171,10 @@ def _baseline_metrics(ref: str, scale: SimScale, registry_dir: Optional[str]):
     return record.metrics, f"{record.kind}-{record.run_id}"
 
 
-def main(argv=None) -> int:
+def _cmd_run(argv) -> int:
     parser = argparse.ArgumentParser(
-        description="Regenerate the paper's tables and figure data."
+        prog="python -m repro.experiments.runner run",
+        description="Regenerate the paper's tables and figure data.",
     )
     parser.add_argument(
         "experiments", nargs="*",
@@ -269,7 +285,7 @@ def main(argv=None) -> int:
                 if args.jobs > 1:
                     _warm_cache(scale, args.jobs, trace_path)
                 for exp_id in ids:
-                    result = run_experiment(exp_id, scale)
+                    result = run_experiment(ExperimentRequest(exp_id, scale))
                     results.append(result)
                     print(result.render())
                     print(
@@ -286,7 +302,14 @@ def main(argv=None) -> int:
                 results, scale.value, kind="run",
                 counters=telemetry.counters(),
                 span_stats=telemetry.span_stats(),
-                meta={"argv": ids},
+                meta={
+                    "argv": ids,
+                    # Provenance in the same typed encoding the service
+                    # wire format and run_experiment() use (repro.api).
+                    "requests": [
+                        ExperimentRequest(e, scale).to_dict() for e in ids
+                    ],
+                },
             )
             if gpu_profiles is not None:
                 from repro.fidelity import RunRecord
@@ -368,6 +391,142 @@ def main(argv=None) -> int:
                     print(f"[profile] peak traced memory: {peak:.0f} kB",
                           file=sys.stderr)
     return exit_code
+
+
+def _cmd_serve(argv) -> int:
+    from repro.service import serve
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner serve",
+        description="Run the experiment service daemon (docs/SERVICE.md).",
+    )
+    cfg = config()
+    parser.add_argument(
+        "--host", default=None,
+        help=f"bind address (default: {cfg.service_host}; "
+             "REPRO_SERVICE_HOST is the environment fallback)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help=f"port to listen on; 0 lets the OS pick (default: "
+             f"{cfg.service_port}; REPRO_SERVICE_PORT fallback)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help=f"cold-execution process-pool width (default: "
+             f"{cfg.service_workers}; REPRO_SERVICE_WORKERS fallback)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=None, metavar="N",
+        help="max distinct in-flight cold requests before answering "
+             f"429 (default: {cfg.service_queue}; REPRO_SERVICE_QUEUE "
+             "fallback)",
+    )
+    parser.add_argument(
+        "--registry", metavar="DIR", default=None,
+        help="run-registry directory for executed experiments "
+             f"(default: {DEFAULT_REGISTRY_DIR}; 'off' disables)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without the persistent artifact cache (every "
+             "request is cold; coalescing still applies)",
+    )
+    args = parser.parse_args(argv)
+    registry_dir = _resolve_registry_dir(args.registry)
+    cache_dir = "" if args.no_cache else None
+    return serve(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_limit=args.queue_limit, cache_dir=cache_dir,
+        registry_dir=registry_dir or "",
+    )
+
+
+def _cmd_bench(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner bench",
+        description="Load-generate against an experiment service and "
+                    "print latency/hit-rate tables.",
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        help=f"experiment ids to request ({', '.join(ALL_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--scale", default="small", choices=[s.value for s in SimScale],
+    )
+    parser.add_argument("--host", default=None, help="service host")
+    parser.add_argument("--port", type=int, default=None,
+                        help="service port")
+    parser.add_argument(
+        "--spawn", action="store_true",
+        help="start a temporary in-process service on a free port for "
+             "the duration of the run (ignores --host/--port)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4, metavar="N",
+        help="concurrent client connections (default: 4)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=8, metavar="M",
+        help="times each experiment id is requested (default: 8); "
+             "identical repeats exercise coalescing and the warm path",
+    )
+    args = parser.parse_args(argv)
+    scale = SimScale(args.scale)
+    requests = [
+        ExperimentRequest(exp, scale)
+        for exp in args.experiments
+        for _ in range(max(1, args.repeat))
+    ]
+
+    from repro.service import run_load
+
+    if args.spawn:
+        from repro.service import spawn_service
+
+        with spawn_service(port=0) as service:
+            report = run_load(service.host, service.port, requests,
+                              clients=args.clients)
+    else:
+        cfg = config()
+        host = args.host or cfg.service_host
+        port = args.port or cfg.service_port
+        report = run_load(host, port, requests, clients=args.clients)
+    print(report.table().render())
+    return 1 if report.errors else 0
+
+
+def _cmd_goldens(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner goldens",
+        description="Regenerate the pinned golden references "
+                    "(repro.fidelity.goldens_data) from the current "
+                    "tree; review the diff like any other code.",
+    )
+    parser.parse_args(argv)
+    from repro.fidelity.goldens import regenerate
+
+    regenerate()
+    return 0
+
+
+#: Subcommand table.  A first argument that is *not* one of these is
+#: treated as ``run``'s first argument, so the historical flat-flag
+#: invocation (``runner fig1 --scale small``) keeps working unchanged.
+_SUBCOMMANDS = {
+    "run": _cmd_run,
+    "serve": _cmd_serve,
+    "bench": _cmd_bench,
+    "goldens": _cmd_goldens,
+}
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
+    return _cmd_run(argv)
 
 
 if __name__ == "__main__":

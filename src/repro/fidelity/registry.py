@@ -21,9 +21,13 @@ import dataclasses
 import hashlib
 import json
 import numbers
+import os
 import pathlib
+import tempfile
 import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.common.locks import LockTimeout, store_lock
 
 #: Bump when the record shape changes; refuses cross-version loads.
 RECORD_VERSION = 1
@@ -163,6 +167,11 @@ class RunRegistry:
     Files are named ``<kind>-<run_id>.json``; the directory is created
     lazily on first :meth:`save`, so merely constructing a registry (or
     reading an empty one) touches nothing on disk.
+
+    Safe under concurrent cross-process writers: saves publish by
+    atomic tmp + rename under a per-run-id-prefix lock, reads are
+    lock-free (a complete file or nothing), and directory scans
+    tolerate records that a concurrent pruner unlinks mid-scan.
     """
 
     def __init__(self, root: Union[str, pathlib.Path]):
@@ -172,12 +181,37 @@ class RunRegistry:
         return self.root / f"{record.kind}-{record.run_id}.json"
 
     def save(self, record: RunRecord) -> pathlib.Path:
-        """Persist (stamping if needed); returns the record's path."""
+        """Persist (stamping if needed); returns the record's path.
+
+        Atomic publish: a concurrent reader never observes a torn
+        record.  The lock (sharded on the first two run-id digits)
+        keeps same-key writers from churning temp files; on timeout
+        the write proceeds unlocked and rename still wins.
+        """
         if not record.run_id:
             record.stamp()
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(record)
-        path.write_text(record.to_json(), encoding="utf-8")
+        lock = store_lock(self.root, f"w-{record.run_id[:2] or '00'}")
+        try:
+            lock.acquire()
+        except LockTimeout:
+            pass
+        try:
+            # ".tmp" suffix keeps in-flight writes out of the "*.json"
+            # globs used by records() and prune().
+            fd, tmp = tempfile.mkstemp(
+                dir=self.root, prefix=path.stem + ".", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(record.to_json())
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        finally:
+            lock.release()
         return path
 
     def load(self, ref: Union[str, pathlib.Path]) -> RunRecord:
@@ -194,13 +228,20 @@ class RunRegistry:
         return RunRecord.from_json(path.read_text(encoding="utf-8"))
 
     def records(self, kind: Optional[str] = None) -> List[RunRecord]:
-        """All records, oldest first (by timestamp, then id)."""
+        """All records, oldest first (by timestamp, then id).
+
+        A record that a concurrent pruner unlinks between the glob and
+        the read is silently skipped — scanning a live registry must
+        not race its own eviction policy.
+        """
         if not self.root.is_dir():
             return []
-        out = [
-            RunRecord.from_json(p.read_text(encoding="utf-8"))
-            for p in sorted(self.root.glob("*.json"))
-        ]
+        out = []
+        for p in sorted(self.root.glob("*.json")):
+            try:
+                out.append(RunRecord.from_json(p.read_text(encoding="utf-8")))
+            except FileNotFoundError:
+                continue  # pruned mid-scan
         if kind is not None:
             out = [r for r in out if r.kind == kind]
         out.sort(key=lambda r: (r.timestamp, r.run_id))
@@ -209,3 +250,38 @@ class RunRegistry:
     def latest(self, kind: Optional[str] = None) -> Optional[RunRecord]:
         records = self.records(kind)
         return records[-1] if records else None
+
+    def prune(self, max_records: int) -> int:
+        """Keep the ``max_records`` most-recent records (mtime-LRU).
+
+        Single-flight across processes (non-blocking prune lock) and
+        TOCTOU-safe: every candidate is re-stat'ed before ``unlink``,
+        so one refreshed or removed since the scan is left alone.
+        Returns the number of records removed.
+        """
+        if max_records < 1 or not self.root.is_dir():
+            return 0
+        lock = store_lock(self.root, "prune")
+        if not lock.try_acquire():
+            return 0
+        try:
+            entries = []
+            for p in self.root.glob("*.json"):
+                try:
+                    st = p.stat()
+                except OSError:
+                    continue
+                entries.append((st.st_mtime, p))
+            entries.sort(reverse=True)
+            removed = 0
+            for mtime, p in entries[max_records:]:
+                try:
+                    if p.stat().st_mtime > mtime:
+                        continue  # refreshed since the scan
+                    p.unlink()
+                except OSError:
+                    continue
+                removed += 1
+            return removed
+        finally:
+            lock.release()

@@ -1,0 +1,45 @@
+"""Experiment service: a long-lived daemon in front of the stores.
+
+The one-shot CLI re-pays Python start-up and model warm-up on every
+invocation; this package turns the characterization pipeline into an
+always-on HTTP/JSON service (stdlib asyncio, zero new dependencies)
+that answers *warm* requests straight from the content-addressed
+artifact cache, coalesces identical in-flight *cold* requests into a
+single execution, and pushes cold work onto a bounded process pool
+behind a backpressure queue (HTTP 429 + ``Retry-After`` when full).
+
+Wire format: :mod:`repro.api` — the same typed
+``ExperimentRequest`` / ``ExperimentResponse`` encoding used by
+``run_experiment()`` and the run registry, so a service response, a
+registry record, and a library call are the same bytes describing the
+same ask.
+
+    python -m repro.experiments.runner serve --port 8177
+    python -m repro.experiments.runner bench fig3 --spawn --clients 8
+
+See ``docs/SERVICE.md`` for endpoints, semantics, and knobs.
+"""
+
+from repro.service.client import (  # noqa: F401
+    LoadReport,
+    ServiceClient,
+    ServiceError,
+    ServiceReply,
+    run_load,
+)
+from repro.service.server import (  # noqa: F401
+    ExperimentService,
+    serve,
+    spawn_service,
+)
+
+__all__ = [
+    "ExperimentService",
+    "LoadReport",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceReply",
+    "run_load",
+    "serve",
+    "spawn_service",
+]

@@ -1,0 +1,292 @@
+"""Blocking client + load generator for the experiment service.
+
+:class:`ServiceClient` is a thin ``http.client`` wrapper (stdlib only,
+keep-alive, auto-reconnect) that speaks the :mod:`repro.api` wire
+format.  :func:`run_load` is the shared load generator behind
+``runner bench`` and ``benchmarks/test_bench_service.py``: N client
+threads drain a request list against one service and the resulting
+:class:`LoadReport` aggregates latency percentiles and hit rates by
+served class (``cold`` / ``warm`` / ``coalesced``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import json
+import queue
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.api import ExperimentRequest, ExperimentResponse
+from repro.common.tables import Table
+
+
+class ServiceError(RuntimeError):
+    """Transport-level failure talking to the service."""
+
+
+@dataclasses.dataclass
+class ServiceReply:
+    """One HTTP exchange, as the load generator sees it.
+
+    served is the service's ``X-Repro-Served`` header
+    (``cold``/``warm``/``coalesced``), or ``""`` for non-experiment
+    endpoints and errors.
+    """
+
+    status: int
+    text: str
+    served: str = ""
+    latency_s: float = 0.0
+    retry_after: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+    def response(self) -> ExperimentResponse:
+        """The decoded typed response (raises on non-response bodies)."""
+        return ExperimentResponse.from_json(self.text)
+
+    def json(self) -> Any:
+        return json.loads(self.text)
+
+
+class ServiceClient:
+    """Keep-alive HTTP client for one service endpoint."""
+
+    def __init__(self, host: str, port: int, timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing --------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[str] = None) -> ServiceReply:
+        payload = body.encode("utf-8") if body is not None else None
+        t0 = time.perf_counter()
+        for attempt in (1, 2):  # one reconnect on a dropped keep-alive
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request(
+                    method, path, body=payload,
+                    headers={"Content-Type": "application/json"}
+                    if payload else {},
+                )
+                resp = self._conn.getresponse()
+                text = resp.read().decode("utf-8")
+            except (ConnectionError, http.client.HTTPException,
+                    OSError) as exc:
+                self.close()
+                if attempt == 2:
+                    raise ServiceError(
+                        f"{method} {path} against "
+                        f"{self.host}:{self.port} failed: {exc}"
+                    ) from exc
+                continue
+            retry_after = resp.getheader("Retry-After")
+            if resp.getheader("Connection", "").lower() == "close":
+                self.close()
+            return ServiceReply(
+                status=resp.status,
+                text=text,
+                served=resp.getheader("X-Repro-Served") or "",
+                latency_s=time.perf_counter() - t0,
+                retry_after=float(retry_after) if retry_after else None,
+            )
+        raise ServiceError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- endpoints -------------------------------------------------------
+    def submit(self, request: ExperimentRequest) -> ServiceReply:
+        """POST one typed experiment request."""
+        return self._request("POST", "/v1/experiment", request.to_json())
+
+    def submit_retrying(self, request: ExperimentRequest,
+                        max_wait_s: float = 120.0) -> ServiceReply:
+        """submit(), honouring 429 + Retry-After until ``max_wait_s``."""
+        deadline = time.monotonic() + max_wait_s
+        while True:
+            reply = self.submit(request)
+            if reply.status != 429 or time.monotonic() >= deadline:
+                return reply
+            time.sleep(min(reply.retry_after or 1.0, 5.0))
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz").json()
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats").json()
+
+    def experiments(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/experiments").json()
+
+    def report(self, scale: str = "small") -> ServiceReply:
+        return self._request("GET", f"/v1/report?scale={scale}")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._request("POST", "/v1/shutdown").json()
+
+    def wait_ready(self, budget_s: float = 15.0) -> Dict[str, Any]:
+        """Poll /healthz until the service answers (daemon start-up)."""
+        deadline = time.monotonic() + budget_s
+        while True:
+            try:
+                return self.health()
+            except ServiceError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+
+# ----------------------------------------------------------------------
+# Load generation
+# ----------------------------------------------------------------------
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, int(round(q / 100.0 * len(ordered) + 0.5)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclasses.dataclass
+class LoadReport:
+    """Aggregated outcome of one load-generation run."""
+
+    replies: List[ServiceReply]
+    wall_s: float
+    clients: int
+
+    def by_served(self, served: str) -> List[float]:
+        return [r.latency_s for r in self.replies
+                if r.served == served and r.ok]
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for r in self.replies if r.status == 429)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for r in self.replies
+                   if r.status not in (200, 429))
+
+    def hit_rate(self, served: str) -> float:
+        answered = [r for r in self.replies if r.ok]
+        if not answered:
+            return 0.0
+        return sum(1 for r in answered if r.served == served) / len(answered)
+
+    def coalescing_ratio(self) -> float:
+        """Fraction of would-be executions that were deduplicated."""
+        cold = len(self.by_served("cold"))
+        coal = len(self.by_served("coalesced"))
+        return coal / (cold + coal) if (cold + coal) else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "requests": float(len(self.replies)),
+            "wall_s": round(self.wall_s, 4),
+            "throughput_rps": (
+                round(len(self.replies) / self.wall_s, 2)
+                if self.wall_s > 0 else 0.0
+            ),
+            "rejected": float(self.rejected),
+            "errors": float(self.errors),
+            "coalescing_ratio": round(self.coalescing_ratio(), 4),
+        }
+        for served in ("cold", "warm", "coalesced"):
+            lat = self.by_served(served)
+            out[f"{served}_n"] = float(len(lat))
+            if lat:
+                out[f"{served}_p50_ms"] = round(
+                    percentile(lat, 50) * 1e3, 3
+                )
+                out[f"{served}_p99_ms"] = round(
+                    percentile(lat, 99) * 1e3, 3
+                )
+        return out
+
+    def table(self) -> Table:
+        table = Table(
+            f"Service load ({self.clients} clients)", ["metric", "value"]
+        )
+        for key, value in self.summary().items():
+            table.add_row([key, f"{value:g}"])
+        return table
+
+
+def run_load(
+    host: str,
+    port: int,
+    requests: Sequence[ExperimentRequest],
+    clients: int = 4,
+    honor_backpressure: bool = True,
+) -> LoadReport:
+    """Drain ``requests`` through ``clients`` concurrent connections.
+
+    Requests are pulled from one shared queue, so ordering across
+    clients is racy on purpose — that is what makes identical
+    neighbours land concurrently and exercise coalescing.  With
+    ``honor_backpressure`` each client retries 429s after the advertised
+    delay; without it the 429s land in the report.
+    """
+    work: "queue.Queue[ExperimentRequest]" = queue.Queue()
+    for req in requests:
+        work.put(req)
+    replies: List[ServiceReply] = []
+    replies_lock = threading.Lock()
+    failures: List[BaseException] = []
+
+    def client_loop() -> None:
+        with ServiceClient(host, port) as client:
+            while True:
+                try:
+                    req = work.get_nowait()
+                except queue.Empty:
+                    return
+                try:
+                    reply = (client.submit_retrying(req)
+                             if honor_backpressure else client.submit(req))
+                except BaseException as exc:  # noqa: BLE001 — report it
+                    failures.append(exc)
+                    return
+                with replies_lock:
+                    replies.append(reply)
+
+    threads = [
+        threading.Thread(target=client_loop, name=f"loadgen-{i}")
+        for i in range(max(1, clients))
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    if failures:
+        raise ServiceError(
+            f"{len(failures)} load-generator clients failed; "
+            f"first: {failures[0]}"
+        )
+    return LoadReport(replies=replies, wall_s=wall, clients=len(threads))

@@ -1,0 +1,558 @@
+"""The asyncio HTTP/JSON experiment daemon.
+
+One event loop owns the sockets and the coalescing map; cold
+experiment executions run in a bounded ``ProcessPoolExecutor`` so the
+loop never blocks on simulation work.  The request lifecycle:
+
+1. **Parse + validate** the POSTed JSON into an
+   :class:`~repro.api.ExperimentRequest` (400 on shape errors, 400 on
+   unknown experiment ids — checked against the driver registry).
+2. **Warm path**: the request's content key is looked up in the
+   artifact cache's response store (``resp-*`` entries).  A hit is
+   served as the stored bytes verbatim — byte-identical to the cold
+   response that produced it (``X-Repro-Served: warm``).
+3. **Coalesce**: if an identical request is already executing, await
+   its task instead of spawning another (``X-Repro-Served:
+   coalesced``).  M identical concurrent cold requests cost exactly
+   one execution and produce M identical payloads.
+4. **Backpressure**: with ``queue_limit`` distinct cold requests in
+   flight the service answers ``429`` with a ``Retry-After`` header
+   rather than queueing unboundedly.
+5. **Cold path**: the request runs in a pool worker via
+   :func:`repro.api.execute`; the worker persists the canonical
+   response JSON into the artifact cache (so restarts stay warm) and
+   the experiment's own registry record via the normal
+   ``run_experiment`` hook.
+
+Telemetry: every outcome lands on ``service.*`` counters, and each
+request emits a ``service.request`` span carrying the served class and
+measured latency as attributes.  The span is opened *after* the
+response is ready — the telemetry registry is strictly LIFO and
+concurrent handlers interleave across ``await`` points, so a span held
+open across an await would corrupt parentage; timings therefore travel
+as attributes instead of span duration.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import sys
+import threading
+import time
+import urllib.parse
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from repro import telemetry
+from repro.api import SCHEMA_VERSION, ExperimentRequest
+from repro.common.config import SimScale, config
+
+#: Artifact-cache kind under which canonical response JSON persists.
+RESPONSE_KIND = "resp"
+
+#: Largest accepted request body; experiment requests are tiny.
+MAX_BODY_BYTES = 1 << 20
+
+_JSON = {"Content-Type": "application/json"}
+
+
+# ----------------------------------------------------------------------
+# Cold execution (pool worker side)
+# ----------------------------------------------------------------------
+def _execute(request_json: str, cache_dir: Optional[str],
+             registry_dir: Optional[str]) -> Tuple[bool, str]:
+    """Run one request in a worker process; never raises.
+
+    Returns ``(ok, canonical_response_json)``.  The worker pins its
+    own store locations explicitly — it must not inherit whatever
+    cache override the parent had installed when the pool forked — and
+    persists the response bytes for the service's warm path before
+    returning, so a response the parent serves is always one that is
+    already durable.
+    """
+    from repro import api
+    from repro.common.config import override
+    from repro.core.artifacts import ArtifactCache, set_artifact_cache
+
+    try:
+        req = api.ExperimentRequest.from_json(request_json)
+    except ValueError as exc:  # unreachable via the service; be safe
+        return False, json.dumps({"error": str(exc)})
+    if cache_dir:
+        set_artifact_cache(ArtifactCache(cache_dir))
+    else:
+        set_artifact_cache(None)
+    try:
+        with override(registry_dir=registry_dir):
+            resp = api.execute(req)
+            text = resp.to_json()
+            if resp.ok and cache_dir:
+                ArtifactCache(cache_dir).put_json(
+                    RESPONSE_KIND, req.experiment, req.scale,
+                    req.content_key(), text,
+                )
+        return resp.ok, text
+    finally:
+        set_artifact_cache(None, clear=True)
+
+
+# ----------------------------------------------------------------------
+# Service statistics
+# ----------------------------------------------------------------------
+@dataclass
+class ServiceStats:
+    """Always-on request accounting (telemetry may be off)."""
+
+    requests: int = 0
+    warm: int = 0
+    cold: int = 0
+    coalesced: int = 0
+    rejected: int = 0
+    errors: int = 0
+    bad_requests: int = 0
+    cold_seconds: float = 0.0
+    warm_seconds: float = 0.0
+    started_at: float = field(default_factory=time.time)
+
+    def snapshot(self) -> Dict[str, Any]:
+        answered = self.warm + self.cold + self.coalesced
+        return {
+            "requests": self.requests,
+            "warm": self.warm,
+            "cold": self.cold,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "bad_requests": self.bad_requests,
+            "warm_hit_rate": round(self.warm / answered, 4) if answered else 0.0,
+            "coalescing_ratio": (
+                round(self.coalesced / (self.coalesced + self.cold), 4)
+                if (self.coalesced + self.cold) else 0.0
+            ),
+            "mean_cold_s": (
+                round(self.cold_seconds / self.cold, 4) if self.cold else 0.0
+            ),
+            "mean_warm_s": (
+                round(self.warm_seconds / self.warm, 6) if self.warm else 0.0
+            ),
+            "uptime_s": round(time.time() - self.started_at, 1),
+        }
+
+
+# ----------------------------------------------------------------------
+# The daemon
+# ----------------------------------------------------------------------
+class ExperimentService:
+    """Asyncio HTTP daemon serving typed experiment requests.
+
+    Construction resolves every knob from
+    :func:`repro.common.config.config` unless given explicitly, so
+    ``REPRO_SERVICE_*`` environment variables configure a bare
+    ``ExperimentService()``.  ``execute_fn`` is the cold-execution
+    callable submitted to the pool — tests substitute a lightweight
+    fake; production uses :func:`_execute`.
+    """
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        workers: Optional[int] = None,
+        queue_limit: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        registry_dir: Optional[str] = None,
+        execute_fn: Optional[Callable[..., Tuple[bool, str]]] = None,
+    ):
+        cfg = config()
+        self.host = cfg.service_host if host is None else host
+        self.port = cfg.service_port if port is None else port
+        self.workers = cfg.service_workers if workers is None else workers
+        self.queue_limit = (
+            cfg.service_queue if queue_limit is None else queue_limit
+        )
+        self.cache_dir = (
+            (cfg.cache_dir if cfg.cache else None)
+            if cache_dir is None else (cache_dir or None)
+        )
+        self.registry_dir = (
+            cfg.registry_dir if registry_dir is None else (registry_dir or None)
+        )
+        self.stats = ServiceStats()
+        self._execute_fn = execute_fn or _execute
+        self._inflight: Dict[str, asyncio.Task] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> None:
+        # The Event must be born inside the serving loop (pre-3.10
+        # asyncio primitives bind their loop at construction).
+        self._stop = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        # With port 0 the OS picked one; republish the real value.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._inflight.values()):
+            task.cancel()
+        self._inflight.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to stop (call from within its loop)."""
+        if self._stop is not None:
+            self._stop.set()
+
+    async def run_until_stopped(self) -> None:
+        """start(), banner, block until shutdown is requested, stop()."""
+        await self.start()
+        print(
+            f"[serve] listening on http://{self.host}:{self.port} "
+            f"(workers={self.workers}, queue={self.queue_limit}, "
+            f"cache={self.cache_dir or 'off'}, "
+            f"registry={self.registry_dir or 'off'})",
+            file=sys.stderr,
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, self._stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-POSIX event loop
+        try:
+            await self._stop.wait()
+        finally:
+            await self.stop()
+            print("[serve] stopped", file=sys.stderr, flush=True)
+
+    # -- HTTP plumbing ---------------------------------------------------
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                parsed = await self._read_request(reader)
+                if parsed is None:
+                    break
+                method, target, headers, body = parsed
+                keep_alive = headers.get("connection", "").lower() != "close"
+                status, payload, extra = await self._route(
+                    method, target, body
+                )
+                await self._write_response(
+                    writer, status, payload, extra, keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            pass  # client went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutting down while this connection idled
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader):
+        """One HTTP/1.1 request -> (method, target, headers, body)."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError:
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise asyncio.LimitOverrunError("request body too large", length)
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    @staticmethod
+    async def _write_response(writer, status: int, payload: bytes,
+                              extra_headers: Dict[str, str],
+                              keep_alive: bool) -> None:
+        reason = {
+            200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 429: "Too Many Requests",
+            500: "Internal Server Error",
+        }.get(status, "OK")
+        head = [f"HTTP/1.1 {status} {reason}"]
+        headers = dict(_JSON)
+        headers.update(extra_headers)
+        headers["Content-Length"] = str(len(payload))
+        headers["Connection"] = "keep-alive" if keep_alive else "close"
+        head.extend(f"{k}: {v}" for k, v in headers.items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(payload)
+        await writer.drain()
+
+    # -- routing ---------------------------------------------------------
+    async def _route(self, method: str, target: str,
+                     body: bytes) -> Tuple[int, bytes, Dict[str, str]]:
+        self.stats.requests += 1
+        telemetry.count("service.requests")
+        path, _, query = target.partition("?")
+        if path == "/healthz" and method == "GET":
+            return 200, _dumps({
+                "ok": True,
+                "schema_version": SCHEMA_VERSION,
+                "inflight": len(self._inflight),
+                "queue_limit": self.queue_limit,
+            }), {}
+        if path == "/v1/stats" and method == "GET":
+            return 200, _dumps(self.stats.snapshot()), {}
+        if path == "/v1/experiments":
+            if method != "GET":
+                return 405, _dumps({"error": "GET only"}), {}
+            from repro.experiments import ALL_EXPERIMENTS
+
+            return 200, _dumps({
+                "schema_version": SCHEMA_VERSION,
+                "experiments": list(ALL_EXPERIMENTS) + ["report"],
+                "scales": [s.value for s in SimScale],
+            }), {}
+        if path == "/v1/experiment" and method == "POST":
+            return await self._handle_experiment_body(body)
+        if path == "/v1/report" and method == "GET":
+            # The report layer rides the same request encoding: a GET
+            # here is sugar for POSTing {"experiment": "report", ...}.
+            params = urllib.parse.parse_qs(query)
+            scale = (params.get("scale") or ["small"])[0]
+            try:
+                req = ExperimentRequest("report", SimScale(scale))
+            except ValueError as exc:
+                self.stats.bad_requests += 1
+                return 400, _dumps({"error": str(exc)}), {}
+            return await self._handle_experiment(req)
+        if path == "/v1/shutdown" and method == "POST":
+            self.request_shutdown()
+            return 200, _dumps({"ok": True, "stopping": True}), {}
+        return 404, _dumps({
+            "error": f"no route {method} {path}",
+            "routes": ["GET /healthz", "GET /v1/stats",
+                       "GET /v1/experiments", "POST /v1/experiment",
+                       "GET /v1/report", "POST /v1/shutdown"],
+        }), {}
+
+    async def _handle_experiment_body(
+        self, body: bytes
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        try:
+            req = ExperimentRequest.from_json(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            self.stats.bad_requests += 1
+            telemetry.count("service.bad_request")
+            return 400, _dumps({"error": str(exc)}), {}
+        # Unknown ids fail *here* (400, the asker's fault), not in a
+        # pool worker (500, the service's fault).
+        from repro.experiments import get_driver
+
+        try:
+            get_driver(req.experiment)
+        except KeyError as exc:
+            self.stats.bad_requests += 1
+            telemetry.count("service.bad_request")
+            return 400, _dumps({"error": str(exc.args[0])}), {}
+        return await self._handle_experiment(req)
+
+    # -- the warm/coalesced/cold core ------------------------------------
+    async def _handle_experiment(
+        self, req: ExperimentRequest
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        t0 = time.perf_counter()
+        key = req.content_key()
+        served = "warm"
+        text = self._load_warm(req, key)
+        status = 200
+        if text is None:
+            task = self._inflight.get(key)
+            if task is not None:
+                served = "coalesced"
+                ok, text = await asyncio.shield(task)
+                status = 200 if ok else 500
+            elif len(self._inflight) >= self.queue_limit:
+                self.stats.rejected += 1
+                telemetry.count("service.rejected")
+                return 429, _dumps({
+                    "error": "cold-execution queue is full",
+                    "inflight": len(self._inflight),
+                    "retry_after_s": 1,
+                }), {"Retry-After": "1"}
+            else:
+                served = "cold"
+                task = asyncio.get_running_loop().create_task(
+                    self._run_cold(req, key)
+                )
+                self._inflight[key] = task
+                ok, text = await asyncio.shield(task)
+                status = 200 if ok else 500
+        dur = time.perf_counter() - t0
+        self._account(served, status, dur)
+        telemetry.count(f"service.{served}")
+        # Post-hoc span: open/close with no await in between (the
+        # registry is LIFO; see module docstring) — latency rides as
+        # an attribute.
+        with telemetry.span(
+            "service.request", experiment=req.experiment,
+            scale=req.scale.value, served=served, status=status,
+            latency_ms=round(dur * 1e3, 3),
+        ):
+            pass
+        return status, text.encode("utf-8"), {
+            "X-Repro-Served": served,
+            "X-Repro-Key": key,
+        }
+
+    def _account(self, served: str, status: int, dur: float) -> None:
+        if status >= 500:
+            self.stats.errors += 1
+            telemetry.count("service.errors")
+            return
+        if served == "warm":
+            self.stats.warm += 1
+            self.stats.warm_seconds += dur
+        elif served == "cold":
+            self.stats.cold += 1
+            self.stats.cold_seconds += dur
+        else:
+            self.stats.coalesced += 1
+
+    def _load_warm(self, req: ExperimentRequest, key: str) -> Optional[str]:
+        """Stored canonical response bytes, or None.  Lock-free."""
+        if not self.cache_dir:
+            return None
+        from repro.core.artifacts import ArtifactCache
+
+        return ArtifactCache(self.cache_dir).get_json(
+            RESPONSE_KIND, req.experiment, req.scale, key
+        )
+
+    async def _run_cold(self, req: ExperimentRequest,
+                        key: str) -> Tuple[bool, str]:
+        """One pooled execution; owns the inflight-map entry for key.
+
+        Runs as its own task so a disconnecting leader client cannot
+        cancel work that coalesced followers are waiting on.  Never
+        raises: pool-level failures (a worker OOM-killed, a broken
+        pool) become well-formed error responses.
+        """
+        try:
+            loop = asyncio.get_running_loop()
+            try:
+                ok, text = await loop.run_in_executor(
+                    self._pool, self._execute_fn, req.to_json(),
+                    self.cache_dir, self.registry_dir,
+                )
+            except Exception as exc:  # noqa: BLE001 — pool edge
+                from repro.api import ExperimentResponse
+
+                ok = False
+                text = ExperimentResponse.failure(
+                    req, f"execution failed: {type(exc).__name__}: {exc}"
+                ).to_json()
+            return ok, text
+        finally:
+            self._inflight.pop(key, None)
+
+
+def _dumps(obj: Any) -> bytes:
+    return (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+
+
+@contextlib.contextmanager
+def spawn_service(**kwargs) -> Iterator[ExperimentService]:
+    """Run a service on a daemon thread; yields the (started) service.
+
+    The building block for tests, benchmarks, and ``runner bench
+    --spawn``: the caller gets a fully-started
+    :class:`ExperimentService` (inspect ``.host``/``.port``/``.stats``)
+    and the service is stopped — its loop unwound, pool shut down —
+    when the ``with`` block exits, whatever happened inside.
+    """
+    service = ExperimentService(**kwargs)
+    ready = threading.Event()
+    failures: list = []
+
+    async def _amain() -> None:
+        await service.start()
+        ready.set()
+        try:
+            await service._stop.wait()
+        finally:
+            await service.stop()
+
+    def _thread() -> None:
+        try:
+            asyncio.run(_amain())
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            failures.append(exc)
+            ready.set()
+
+    thread = threading.Thread(
+        target=_thread, name="repro-service", daemon=True
+    )
+    thread.start()
+    if not ready.wait(timeout=30.0):
+        raise RuntimeError("service failed to start within 30s")
+    if failures:
+        raise failures[0]
+    try:
+        yield service
+    finally:
+        if service._loop is not None and not failures:
+            try:
+                service._loop.call_soon_threadsafe(service.request_shutdown)
+            except RuntimeError:
+                pass  # loop already closed
+        thread.join(timeout=30.0)
+
+
+def serve(
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    workers: Optional[int] = None,
+    queue_limit: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    registry_dir: Optional[str] = None,
+) -> int:
+    """Blocking entry point: run the daemon until SIGINT/SIGTERM.
+
+    Returns a process exit code (0 on clean shutdown).
+    """
+    service = ExperimentService(
+        host=host, port=port, workers=workers, queue_limit=queue_limit,
+        cache_dir=cache_dir, registry_dir=registry_dir,
+    )
+    try:
+        asyncio.run(service.run_until_stopped())
+    except KeyboardInterrupt:
+        pass  # loops without add_signal_handler support
+    return 0

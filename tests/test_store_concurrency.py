@@ -1,0 +1,327 @@
+"""Cross-process store hammering: the concurrency contract, enforced.
+
+The artifact cache and the run registry promise lock-free torn-free
+reads, per-key-prefix locked atomic writes, and TOCTOU-tolerant
+pruning (see the module docstrings).  These tests drive both stores
+from ``HAMMER_PROCS`` concurrent worker processes and compare the
+surviving bytes against a serial oracle — same operations, one
+process — so any lost write, torn read, or corrupted payload is a
+hard failure, not a flake.
+"""
+
+import json
+import os
+import random
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.common.config import SimScale
+from repro.common.locks import FileLock, LockTimeout, store_lock
+from repro.core.artifacts import ArtifactCache
+from repro.fidelity.registry import RunRecord, RunRegistry
+
+#: The acceptance bar: eight concurrent writer processes per store.
+HAMMER_PROCS = 8
+KEYS = 24
+
+
+# ----------------------------------------------------------------------
+# Deterministic workloads (shared by the hammer and the serial oracle)
+# ----------------------------------------------------------------------
+def _cache_items():
+    """(name, key, payload-text) triples; one canonical payload per key."""
+    items = []
+    for i in range(KEYS):
+        key = f"{i:012x}"
+        payload = json.dumps(
+            {"experiment": f"k{i}", "value": i * 1.5, "blob": "x" * (i * 7)},
+            sort_keys=True, separators=(",", ":"),
+        )
+        items.append((f"k{i}", key, payload))
+    return items
+
+
+def _registry_records():
+    """Deterministic records: fixed timestamps, content-hash run ids."""
+    records = []
+    for i in range(KEYS):
+        rec = RunRecord(
+            kind="experiment", scale="tiny", experiments=[f"e{i}"],
+            metrics={f"e{i}/metric": float(i)},
+            timestamp="2026-08-08T00:00:00+0000",
+        ).stamp()
+        records.append(rec)
+    return records
+
+
+def _dir_bytes(root, pattern):
+    return {p.name: p.read_bytes() for p in Path(root).glob(pattern)}
+
+
+# ----------------------------------------------------------------------
+# Worker bodies (module-level: the pool pickles them by reference)
+# ----------------------------------------------------------------------
+def _cache_worker(root, worker_id):
+    """Write every key (shuffled per worker) while reading the others.
+
+    Returns the number of torn reads observed (must be zero: a read
+    either misses or yields the key's one canonical payload).
+    """
+    cache = ArtifactCache(root)
+    rng = random.Random(worker_id)
+    items = _cache_items()
+    order = list(items)
+    rng.shuffle(order)
+    torn = 0
+    for name, key, payload in order:
+        cache.put_json("resp", name, SimScale.TINY, key, payload)
+        probe_name, probe_key, probe_payload = items[rng.randrange(len(items))]
+        seen = cache.get_json("resp", probe_name, SimScale.TINY, probe_key)
+        if seen is not None and seen != probe_payload:
+            torn += 1
+    return torn
+
+
+def _registry_worker(root, worker_id):
+    """Save every record (shuffled) while scanning; returns bad reads."""
+    registry = RunRegistry(root)
+    rng = random.Random(1000 + worker_id)
+    records = _registry_records()
+    rng.shuffle(records)
+    bad = 0
+    for n, rec in enumerate(records):
+        registry.save(rec)
+        if n % 5 == 0:
+            for loaded in registry.records(kind="experiment"):
+                # Every record visible mid-hammer must be complete.
+                if loaded.run_id != loaded.content_key():
+                    bad += 1
+    return bad
+
+
+def _prune_worker(root, worker_id, budget):
+    """Interleave puts with explicit budget-driven prunes."""
+    cache = ArtifactCache(root)
+    rng = random.Random(2000 + worker_id)
+    for i in range(30):
+        key = f"{rng.randrange(1 << 40):012x}"
+        cache.put_json(
+            "resp", f"w{worker_id}n{i}", SimScale.TINY, key,
+            json.dumps({"w": worker_id, "i": i}),
+        )
+        if i % 3 == 0:
+            cache.prune(max_entries=budget)
+    return 0
+
+
+def _registry_prune_worker(root, worker_id, keep):
+    registry = RunRegistry(root)
+    for i in range(20):
+        registry.save(
+            RunRecord(
+                kind="experiment", scale="tiny",
+                experiments=[f"w{worker_id}e{i}"],
+                metrics={f"w{worker_id}e{i}/m": float(i)},
+            )
+        )
+        registry.prune(keep)
+        registry.records()  # must never raise mid-prune
+    return 0
+
+
+def _hammer(fn, root, *extra):
+    with ProcessPoolExecutor(max_workers=HAMMER_PROCS) as pool:
+        futures = [
+            pool.submit(fn, root, worker_id, *extra)
+            for worker_id in range(HAMMER_PROCS)
+        ]
+        return [f.result(timeout=300) for f in futures]
+
+
+# ----------------------------------------------------------------------
+# The hammers
+# ----------------------------------------------------------------------
+class TestArtifactCacheHammer:
+    def test_eight_process_hammer_matches_serial_oracle(self, tmp_path):
+        hammer_root = tmp_path / "hammer"
+        oracle_root = tmp_path / "oracle"
+        torn = _hammer(_cache_worker, str(hammer_root))
+        assert sum(torn) == 0, f"torn reads observed: {torn}"
+        _cache_worker(str(oracle_root), 0)  # the serial oracle
+        got = _dir_bytes(hammer_root, "resp-*.json")
+        want = _dir_bytes(oracle_root, "resp-*.json")
+        # No lost writes, no extras, every payload bit-identical.
+        assert got == want
+        assert len(got) == KEYS
+        # No temp-file or lock litter in the payload namespace.
+        assert not list(hammer_root.glob("*.tmp*"))
+
+    def test_every_surviving_payload_parses(self, tmp_path):
+        _hammer(_cache_worker, str(tmp_path))
+        for p in tmp_path.glob("resp-*.json"):
+            json.loads(p.read_text(encoding="utf-8"))
+
+
+class TestRunRegistryHammer:
+    def test_eight_process_hammer_matches_serial_oracle(self, tmp_path):
+        hammer_root = tmp_path / "hammer"
+        oracle_root = tmp_path / "oracle"
+        bad = _hammer(_registry_worker, str(hammer_root))
+        assert sum(bad) == 0
+        _registry_worker(str(oracle_root), 0)
+        got = _dir_bytes(hammer_root, "*.json")
+        want = _dir_bytes(oracle_root, "*.json")
+        assert got == want
+        assert len(got) == KEYS
+        # Scans see exactly the serial outcome afterwards.
+        records = RunRegistry(hammer_root).records(kind="experiment")
+        assert len(records) == KEYS
+        assert [r.run_id for r in records] == sorted(
+            r.run_id for r in _registry_records()
+        )
+
+
+class TestConcurrentPruning:
+    def test_cache_prune_under_write_load(self, tmp_path):
+        budget = 10
+        _hammer(_prune_worker, str(tmp_path), budget)
+        # Quiescent state: one final prune lands exactly on the budget,
+        # and everything that survived is a complete payload.
+        cache = ArtifactCache(tmp_path)
+        cache.prune(max_entries=budget)
+        survivors = list(tmp_path.glob("resp-*.json"))
+        assert len(survivors) == budget
+        for p in survivors:
+            json.loads(p.read_text(encoding="utf-8"))
+
+    def test_registry_prune_under_write_load(self, tmp_path):
+        keep = 5
+        _hammer(_registry_prune_worker, str(tmp_path), keep)
+        registry = RunRegistry(tmp_path)
+        registry.prune(keep)
+        assert len(list(tmp_path.glob("*.json"))) == keep
+        for rec in registry.records():
+            assert rec.run_id  # complete, parseable records only
+
+    def test_prune_is_single_flight(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for i in range(6):
+            cache.put_json("resp", f"n{i}", SimScale.TINY, f"{i:012x}",
+                           json.dumps({"i": i}))
+        lock = store_lock(tmp_path, "prune")
+        assert lock.try_acquire()
+        try:
+            # A concurrent pruner holds the lock: this pass must skip.
+            assert cache.prune(max_entries=1) == 0
+            assert len(list(tmp_path.glob("resp-*.json"))) == 6
+        finally:
+            lock.release()
+        assert cache.prune(max_entries=1) == 5
+
+
+class TestTOCTOUTolerance:
+    """Readers and pruners racing deleters must degrade, not raise."""
+
+    def test_registry_scan_survives_concurrent_deletion(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        for rec in _registry_records():
+            registry.save(rec)
+        paths = sorted(tmp_path.glob("*.json"))
+
+        def deleter():
+            for p in paths:
+                try:
+                    p.unlink()
+                except FileNotFoundError:
+                    pass
+                time.sleep(0.001)
+
+        thread = threading.Thread(target=deleter)
+        thread.start()
+        try:
+            while list(tmp_path.glob("*.json")):
+                for rec in registry.records():
+                    assert rec.run_id  # whatever is seen is complete
+        finally:
+            thread.join()
+        assert registry.records() == []
+
+    def test_cache_prune_survives_concurrent_deletion(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for i in range(40):
+            cache.put_json("resp", f"n{i}", SimScale.TINY, f"{i:012x}",
+                           json.dumps({"i": i}))
+        paths = sorted(tmp_path.glob("resp-*.json"))
+
+        def deleter():
+            for p in paths:
+                try:
+                    p.unlink()
+                except FileNotFoundError:
+                    pass
+
+        thread = threading.Thread(target=deleter)
+        thread.start()
+        try:
+            # Race the pruner against the deleter; tolerating vanished
+            # candidates is the contract under test.
+            for _ in range(20):
+                cache.prune(max_entries=1)
+        finally:
+            thread.join()
+        assert len(list(tmp_path.glob("resp-*.json"))) <= 1
+
+    def test_recently_touched_entries_survive_prune(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        old = time.time() - 3600
+        for i in range(4):
+            path = cache.put_json("resp", f"n{i}", SimScale.TINY,
+                                  f"{i:012x}", json.dumps({"i": i}))
+            os.utime(path, (old + i, old + i))
+        # A warm hit refreshes mtime, so the oldest entry becomes the
+        # newest and must survive the next budget pass.
+        assert cache.get_json("resp", "n0", SimScale.TINY,
+                              f"{0:012x}") is not None
+        cache.prune(max_entries=1)
+        survivors = [p.name for p in tmp_path.glob("resp-*.json")]
+        assert survivors == [f"resp-n0-tiny-{0:012x}.json"]
+
+
+class TestFileLock:
+    def test_mutual_exclusion_and_release(self, tmp_path):
+        path = tmp_path / "x.lock"
+        first, second = FileLock(path), FileLock(path)
+        assert first.try_acquire()
+        assert not second.try_acquire()
+        first.release()
+        assert second.try_acquire()
+        second.release()
+
+    def test_blocking_acquire_times_out(self, tmp_path):
+        path = tmp_path / "x.lock"
+        with FileLock(path):
+            with pytest.raises(LockTimeout):
+                FileLock(path, stale_after=3600).acquire(timeout=0.05)
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        path = tmp_path / "x.lock"
+        FileLock(path).try_acquire()  # holder "dies" without releasing
+        old = time.time() - 3600
+        os.utime(path, (old, old))
+        waiter = FileLock(path, stale_after=30.0)
+        assert waiter.try_acquire()
+        waiter.release()
+
+    def test_store_lock_keeps_payload_namespace_clean(self, tmp_path):
+        with store_lock(tmp_path, "w-ab"):
+            assert not list(tmp_path.glob("*.lock"))
+            assert (tmp_path / ".locks" / "w-ab.lock").is_file()
+
+    def test_lock_parent_dir_created_on_demand(self, tmp_path):
+        lock = store_lock(tmp_path / "fresh", "prune")
+        assert lock.try_acquire()
+        lock.release()
