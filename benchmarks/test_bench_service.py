@@ -12,7 +12,12 @@ are asserted here with the shared load generator
   the cold execution it short-circuits, at SMALL scale.
 - ``test_coalescing_collapses_identical_cold_requests`` — N identical
   concurrent cold requests -> one execution, N identical payloads.
+- ``test_observability_overhead_on_warm_path`` — the per-request
+  observability work (request id, metrics samples, access-log line)
+  must stay under 3% of the measured warm p50.
 """
+
+import time
 
 from repro.api import ExperimentRequest
 from repro.common.config import SimScale
@@ -84,3 +89,49 @@ def test_coalescing_collapses_identical_cold_requests(scale, tmp_path):
         f"(coalescing ratio {report.coalescing_ratio():.3f})"
     )
     print(report.table().render())
+
+
+def test_observability_overhead_on_warm_path(scale, tmp_path):
+    """The tax every warm hit pays for observability, vs what it buys.
+
+    Per request the service generates one id, records one latency
+    sample per family, bumps counters, and emits one access-log line.
+    Micro-time that exact recording path against a live service's
+    measured warm p50: the ratio is the metrics-path overhead, and the
+    bar is <3% so observability never becomes the warm path's cost.
+    """
+    req = ExperimentRequest(_EXPERIMENT, SimScale.SMALL)
+    rounds = 2000
+    with spawn_service(
+        port=0, workers=1, queue_limit=8,
+        cache_dir=str(tmp_path / "cache"), registry_dir="",
+        access_log=str(tmp_path / "access.jsonl"),
+    ) as service:
+        with ServiceClient(service.host, service.port) as client:
+            assert client.submit(req).served == "cold"
+        report = run_load(
+            service.host, service.port,
+            [req] * _WARM_REQUESTS, clients=_WARM_CLIENTS,
+        )
+        obs = service.obs
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            rid = obs.new_request_id()
+            obs.observe_http(
+                "/v1/experiment", "POST", 200, 0.0012, rid,
+                served="warm", experiment=_EXPERIMENT, scale="small",
+            )
+            obs.observe_served("warm", 0.0012)
+        per_request_s = (time.perf_counter() - t0) / rounds
+    assert report.errors == 0
+    warm_p50 = percentile(report.by_served("warm"), 50)
+    overhead = per_request_s / warm_p50
+    print(
+        f"\n[{_EXPERIMENT}@small] observability "
+        f"{per_request_s * 1e6:.1f} us/request vs warm p50 "
+        f"{warm_p50 * 1e3:.3f} ms: {overhead:.2%} overhead"
+    )
+    assert overhead < 0.03, (
+        f"metrics path costs {overhead:.2%} of a warm hit "
+        f"({per_request_s * 1e6:.1f} us vs {warm_p50 * 1e3:.3f} ms p50)"
+    )

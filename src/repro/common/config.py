@@ -86,6 +86,10 @@ DEFAULT_SERVICE_PORT = 8177
 DEFAULT_SERVICE_WORKERS = 2
 DEFAULT_SERVICE_QUEUE = 8
 
+#: Cold requests slower than this persist a span-trace exemplar
+#: (milliseconds; see repro.service.observability).
+DEFAULT_SERVICE_SLOW_MS = 1000.0
+
 _ENV_VARS = (
     "REPRO_GPU_BATCH",
     "REPRO_GPU_BATCH_LANES",
@@ -103,6 +107,8 @@ _ENV_VARS = (
     "REPRO_SERVICE_PORT",
     "REPRO_SERVICE_WORKERS",
     "REPRO_SERVICE_QUEUE",
+    "REPRO_SERVICE_ACCESS_LOG",
+    "REPRO_SERVICE_SLOW_MS",
 )
 
 
@@ -170,6 +176,10 @@ class RuntimeConfig:
                        (``REPRO_SERVICE_WORKERS``).
     service_queue   -- max in-flight cold requests before the service
                        answers 429 (``REPRO_SERVICE_QUEUE``).
+    service_access_log -- structured JSONL access-log path, or None for
+                       no access log (``REPRO_SERVICE_ACCESS_LOG``).
+    service_slow_ms -- slow-request exemplar threshold in milliseconds
+                       (``REPRO_SERVICE_SLOW_MS``).
     """
 
     gpu_batch: bool = True
@@ -188,6 +198,8 @@ class RuntimeConfig:
     service_port: int = DEFAULT_SERVICE_PORT
     service_workers: int = DEFAULT_SERVICE_WORKERS
     service_queue: int = DEFAULT_SERVICE_QUEUE
+    service_access_log: Optional[str] = None
+    service_slow_ms: float = DEFAULT_SERVICE_SLOW_MS
 
     @classmethod
     def from_env(cls) -> "RuntimeConfig":
@@ -216,6 +228,13 @@ class RuntimeConfig:
             except ValueError:
                 return default
 
+        def _float_env(var: str, default: float,
+                       minimum: float = 0.0) -> float:
+            try:
+                return max(minimum, float(os.environ.get(var, "")))
+            except ValueError:
+                return default
+
         return cls(
             gpu_batch=_env_true(os.environ.get("REPRO_GPU_BATCH")),
             gpu_batch_lanes=lanes,
@@ -240,6 +259,12 @@ class RuntimeConfig:
             ),
             service_queue=_int_env(
                 "REPRO_SERVICE_QUEUE", DEFAULT_SERVICE_QUEUE, minimum=1
+            ),
+            service_access_log=(
+                os.environ.get("REPRO_SERVICE_ACCESS_LOG") or None
+            ),
+            service_slow_ms=_float_env(
+                "REPRO_SERVICE_SLOW_MS", DEFAULT_SERVICE_SLOW_MS
             ),
         )
 

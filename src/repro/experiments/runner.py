@@ -432,13 +432,55 @@ def _cmd_serve(argv) -> int:
         help="serve without the persistent artifact cache (every "
              "request is cold; coalescing still applies)",
     )
+    parser.add_argument(
+        "--access-log", metavar="PATH", default=None,
+        help="structured JSONL access log, one object per request "
+             f"(default: {cfg.service_access_log or 'off'}; "
+             "REPRO_SERVICE_ACCESS_LOG fallback)",
+    )
+    parser.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="persist a span-trace exemplar to the registry for any "
+             f"cold request slower than MS (default: "
+             f"{cfg.service_slow_ms:g}; REPRO_SERVICE_SLOW_MS fallback)",
+    )
+    parser.add_argument(
+        "--slo", metavar="SPEC", default=None,
+        help="service-level objectives checked at shutdown, e.g. "
+             "'warm_p99_ms=50,error_rate=0.01'; a violated ceiling "
+             "makes the process exit nonzero (docs/SERVICE.md)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="compare this lifetime's service/* metrics against a "
+             "saved baseline via the fidelity drift gate; exit "
+             "nonzero on failure",
+    )
+    parser.add_argument(
+        "--save-baseline", metavar="PATH", default=None,
+        help="write this lifetime's service/* metrics as a baseline "
+             "file for future --baseline gating",
+    )
     args = parser.parse_args(argv)
+    if args.slo:  # fail on a typo'd gate before binding the port
+        from repro.service.slo import parse_slo_spec
+
+        try:
+            parse_slo_spec(args.slo)
+        except ValueError as exc:
+            parser.error(str(exc))
     registry_dir = _resolve_registry_dir(args.registry)
     cache_dir = "" if args.no_cache else None
     return serve(
         host=args.host, port=args.port, workers=args.workers,
         queue_limit=args.queue_limit, cache_dir=cache_dir,
         registry_dir=registry_dir or "",
+        access_log=args.access_log,
+        slow_request_s=(
+            None if args.slow_ms is None else args.slow_ms / 1e3
+        ),
+        slo=args.slo, baseline=args.baseline,
+        save_baseline=args.save_baseline,
     )
 
 
@@ -472,6 +514,12 @@ def _cmd_bench(argv) -> int:
         help="times each experiment id is requested (default: 8); "
              "identical repeats exercise coalescing and the warm path",
     )
+    parser.add_argument(
+        "--retry", action="store_true",
+        help="install the client retry policy (capped exponential "
+             "backoff honoring Retry-After on 429) instead of the "
+             "legacy fixed-delay wait; the report counts the rounds",
+    )
     args = parser.parse_args(argv)
     scale = SimScale(args.scale)
     requests = [
@@ -480,21 +528,59 @@ def _cmd_bench(argv) -> int:
         for _ in range(max(1, args.repeat))
     ]
 
-    from repro.service import run_load
+    from repro.service import RetryPolicy, run_load
 
+    retry = RetryPolicy() if args.retry else None
     if args.spawn:
         from repro.service import spawn_service
 
         with spawn_service(port=0) as service:
             report = run_load(service.host, service.port, requests,
-                              clients=args.clients)
+                              clients=args.clients, retry=retry)
     else:
         cfg = config()
         host = args.host or cfg.service_host
         port = args.port or cfg.service_port
-        report = run_load(host, port, requests, clients=args.clients)
+        report = run_load(host, port, requests, clients=args.clients,
+                          retry=retry)
     print(report.table().render())
     return 1 if report.errors else 0
+
+
+def _cmd_watch(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner watch",
+        description="Live terminal dashboard for a running experiment "
+                    "service: polls /v1/stats + /v1/metrics and renders "
+                    "latency quantiles, route counts, and sparklines.",
+    )
+    cfg = config()
+    parser.add_argument("--host", default=None,
+                        help=f"service host (default: {cfg.service_host})")
+    parser.add_argument("--port", type=int, default=None,
+                        help=f"service port (default: {cfg.service_port})")
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="seconds between polls (default: 2.0)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N polls (default: run until Ctrl-C)",
+    )
+    parser.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of repainting (for logs/pipes)",
+    )
+    args = parser.parse_args(argv)
+    from repro.service.watch import watch
+
+    return watch(
+        host=args.host or cfg.service_host,
+        port=args.port or cfg.service_port,
+        interval_s=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
 
 
 def _cmd_goldens(argv) -> int:
@@ -518,6 +604,7 @@ _SUBCOMMANDS = {
     "run": _cmd_run,
     "serve": _cmd_serve,
     "bench": _cmd_bench,
+    "watch": _cmd_watch,
     "goldens": _cmd_goldens,
 }
 

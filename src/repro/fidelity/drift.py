@@ -60,6 +60,15 @@ TOLERANCE_RULES: Tuple[Tuple[str, Tolerance], ...] = (
     # 1% relative catches real model drift while absorbing benign float
     # noise from dependency-version changes in the cache/bincount paths.
     ("gpuprof/", Tolerance(rel=0.01, abs_floor=1e-6)),
+    # Service-level metrics (repro.service observability).  Latencies
+    # are wall-clock milliseconds on shared CI machines, so the band is
+    # wide: 50% relative with a 1ms floor tolerates scheduler noise
+    # while still catching order-of-magnitude regressions.  Rates are
+    # fractions in [0, 1] and get floors in their own units.
+    ("service/", Tolerance(rel=0.5, abs_floor=1.0)),
+    ("service/error_rate", Tolerance(rel=0.5, abs_floor=0.01)),
+    ("service/warm_hit_rate", Tolerance(rel=0.5, abs_floor=0.05)),
+    ("service/coalescing_ratio", Tolerance(rel=0.5, abs_floor=0.05)),
 )
 
 DEFAULT_TOLERANCE = Tolerance()

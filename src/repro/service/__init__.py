@@ -22,23 +22,39 @@ See ``docs/SERVICE.md`` for endpoints, semantics, and knobs.
 
 from repro.service.client import (  # noqa: F401
     LoadReport,
+    RetryPolicy,
     ServiceClient,
     ServiceError,
     ServiceReply,
     run_load,
 )
+from repro.service.observability import (  # noqa: F401
+    ServiceObservability,
+)
 from repro.service.server import (  # noqa: F401
     ExperimentService,
+    gate_service_run,
     serve,
     spawn_service,
+)
+from repro.service.slo import (  # noqa: F401
+    Objective,
+    check_slo,
+    parse_slo_spec,
 )
 
 __all__ = [
     "ExperimentService",
     "LoadReport",
+    "Objective",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
+    "ServiceObservability",
     "ServiceReply",
+    "check_slo",
+    "gate_service_run",
+    "parse_slo_spec",
     "run_load",
     "serve",
     "spawn_service",

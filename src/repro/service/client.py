@@ -27,13 +27,38 @@ class ServiceError(RuntimeError):
     """Transport-level failure talking to the service."""
 
 
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Opt-in retry schedule for 429 backpressure responses.
+
+    Capped exponential backoff — attempt ``k`` waits
+    ``min(base_delay_s * 2**k, max_delay_s)`` — except that a server
+    ``Retry-After`` hint, when present, takes precedence when *longer*
+    (the server knows its queue; never retry earlier than it asked).
+    ``attempts`` bounds the retries per request and ``max_wait_s``
+    bounds the total time spent waiting, whichever trips first.
+    """
+
+    attempts: int = 5
+    base_delay_s: float = 0.05
+    max_delay_s: float = 5.0
+    max_wait_s: float = 120.0
+
+    def delay(self, attempt: int,
+              retry_after: Optional[float] = None) -> float:
+        backoff = min(self.base_delay_s * (2.0 ** attempt),
+                      self.max_delay_s)
+        return max(backoff, retry_after or 0.0)
+
+
 @dataclasses.dataclass
 class ServiceReply:
     """One HTTP exchange, as the load generator sees it.
 
     served is the service's ``X-Repro-Served`` header
     (``cold``/``warm``/``coalesced``), or ``""`` for non-experiment
-    endpoints and errors.
+    endpoints and errors.  retries counts the 429 rounds this reply
+    absorbed before the answer came back (0 without a retry policy).
     """
 
     status: int
@@ -41,6 +66,8 @@ class ServiceReply:
     served: str = ""
     latency_s: float = 0.0
     retry_after: Optional[float] = None
+    retries: int = 0
+    request_id: str = ""
 
     @property
     def ok(self) -> bool:
@@ -55,12 +82,22 @@ class ServiceReply:
 
 
 class ServiceClient:
-    """Keep-alive HTTP client for one service endpoint."""
+    """Keep-alive HTTP client for one service endpoint.
 
-    def __init__(self, host: str, port: int, timeout: float = 300.0):
+    ``retry`` opts :meth:`submit` into the capped-backoff 429 handling
+    of :class:`RetryPolicy` (off by default: a bare client surfaces
+    backpressure to its caller verbatim).  ``retries_total``
+    accumulates every backoff round the client has slept through, so
+    load generators can report retry pressure alongside latency.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 300.0,
+                 retry: Optional[RetryPolicy] = None):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
+        self.retries_total = 0
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- plumbing --------------------------------------------------------
@@ -99,6 +136,7 @@ class ServiceClient:
                 served=resp.getheader("X-Repro-Served") or "",
                 latency_s=time.perf_counter() - t0,
                 retry_after=float(retry_after) if retry_after else None,
+                request_id=resp.getheader("X-Repro-Request-Id") or "",
             )
         raise ServiceError("unreachable")  # pragma: no cover
 
@@ -118,24 +156,64 @@ class ServiceClient:
 
     # -- endpoints -------------------------------------------------------
     def submit(self, request: ExperimentRequest) -> ServiceReply:
-        """POST one typed experiment request."""
-        return self._request("POST", "/v1/experiment", request.to_json())
+        """POST one typed experiment request.
+
+        With a :class:`RetryPolicy` installed, 429 responses are
+        retried on the policy's schedule and the returned reply carries
+        the rounds it absorbed in ``reply.retries``; without one, the
+        429 comes back as-is.
+        """
+        if self.retry is None:
+            return self._request(
+                "POST", "/v1/experiment", request.to_json()
+            )
+        return self._submit_with_policy(request, self.retry)
 
     def submit_retrying(self, request: ExperimentRequest,
                         max_wait_s: float = 120.0) -> ServiceReply:
         """submit(), honouring 429 + Retry-After until ``max_wait_s``."""
-        deadline = time.monotonic() + max_wait_s
+        policy = self.retry or RetryPolicy(
+            attempts=1_000_000, base_delay_s=1.0, max_delay_s=5.0
+        )
+        policy = dataclasses.replace(policy, max_wait_s=max_wait_s)
+        return self._submit_with_policy(request, policy)
+
+    def _submit_with_policy(self, request: ExperimentRequest,
+                            policy: RetryPolicy) -> ServiceReply:
+        body = request.to_json()
+        deadline = time.monotonic() + policy.max_wait_s
+        retries = 0
         while True:
-            reply = self.submit(request)
-            if reply.status != 429 or time.monotonic() >= deadline:
+            reply = self._request("POST", "/v1/experiment", body)
+            if reply.status != 429 or retries >= policy.attempts:
+                reply.retries = retries
                 return reply
-            time.sleep(min(reply.retry_after or 1.0, 5.0))
+            delay = policy.delay(retries, reply.retry_after)
+            if time.monotonic() + delay >= deadline:
+                reply.retries = retries
+                return reply
+            retries += 1
+            self.retries_total += 1
+            time.sleep(delay)
 
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/healthz").json()
 
     def stats(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/stats").json()
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition from ``GET /v1/metrics``."""
+        reply = self._request("GET", "/v1/metrics")
+        if reply.status != 200:
+            raise ServiceError(f"/v1/metrics answered {reply.status}")
+        return reply.text
+
+    def metrics(self) -> Dict[str, Dict[Any, float]]:
+        """Parsed scrape: ``name -> {label tuple -> value}``."""
+        from repro.telemetry.metrics import parse_prometheus
+
+        return parse_prometheus(self.metrics_text())
 
     def experiments(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/experiments").json()
@@ -187,6 +265,11 @@ class LoadReport:
         return sum(1 for r in self.replies if r.status == 429)
 
     @property
+    def retries(self) -> int:
+        """Backoff rounds absorbed across all replies."""
+        return sum(r.retries for r in self.replies)
+
+    @property
     def errors(self) -> int:
         return sum(1 for r in self.replies
                    if r.status not in (200, 429))
@@ -212,6 +295,7 @@ class LoadReport:
                 if self.wall_s > 0 else 0.0
             ),
             "rejected": float(self.rejected),
+            "retries": float(self.retries),
             "errors": float(self.errors),
             "coalescing_ratio": round(self.coalescing_ratio(), 4),
         }
@@ -242,6 +326,7 @@ def run_load(
     requests: Sequence[ExperimentRequest],
     clients: int = 4,
     honor_backpressure: bool = True,
+    retry: Optional[RetryPolicy] = None,
 ) -> LoadReport:
     """Drain ``requests`` through ``clients`` concurrent connections.
 
@@ -249,7 +334,10 @@ def run_load(
     clients is racy on purpose — that is what makes identical
     neighbours land concurrently and exercise coalescing.  With
     ``honor_backpressure`` each client retries 429s after the advertised
-    delay; without it the 429s land in the report.
+    delay; without it the 429s land in the report.  ``retry`` installs
+    an explicit :class:`RetryPolicy` on every client (implies honoring
+    backpressure on that policy's schedule); the report's ``retries``
+    total counts the rounds absorbed.
     """
     work: "queue.Queue[ExperimentRequest]" = queue.Queue()
     for req in requests:
@@ -259,15 +347,19 @@ def run_load(
     failures: List[BaseException] = []
 
     def client_loop() -> None:
-        with ServiceClient(host, port) as client:
+        with ServiceClient(host, port, retry=retry) as client:
             while True:
                 try:
                     req = work.get_nowait()
                 except queue.Empty:
                     return
                 try:
-                    reply = (client.submit_retrying(req)
-                             if honor_backpressure else client.submit(req))
+                    if retry is not None:
+                        reply = client.submit(req)
+                    elif honor_backpressure:
+                        reply = client.submit_retrying(req)
+                    else:
+                        reply = client.submit(req)
                 except BaseException as exc:  # noqa: BLE001 — report it
                     failures.append(exc)
                     return

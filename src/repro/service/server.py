@@ -31,12 +31,27 @@ response is ready — the telemetry registry is strictly LIFO and
 concurrent handlers interleave across ``await`` points, so a span held
 open across an await would corrupt parentage; timings therefore travel
 as attributes instead of span duration.
+
+Observability (:mod:`repro.service.observability`): every request gets
+an ``X-Repro-Request-Id``; the id crosses the pool boundary so the
+cold worker's telemetry session — and hence its
+experiment → workload → kernel_launch span tree — is rooted under the
+serving request.  Workers ship their histogram/counter deltas back
+beside the response and the parent merges them, ``GET /v1/metrics``
+renders the whole registry in Prometheus text exposition format, the
+access log is structured JSONL, and requests slower than the
+configured threshold persist their full stitched span trace to the run
+registry as exemplars.  Recording happens synchronously between
+``_route`` returning and the first subsequent ``await``, so teardown
+(flush-before-close in :meth:`ExperimentService.stop`) leaves the
+final scrape and the access log agreeing on totals.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
+import inspect
 import json
 import signal
 import sys
@@ -45,11 +60,12 @@ import time
 import urllib.parse
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro import telemetry
 from repro.api import SCHEMA_VERSION, ExperimentRequest
 from repro.common.config import SimScale, config
+from repro.service.observability import ServiceObservability
 
 #: Artifact-cache kind under which canonical response JSON persists.
 RESPONSE_KIND = "resp"
@@ -63,40 +79,112 @@ _JSON = {"Content-Type": "application/json"}
 # ----------------------------------------------------------------------
 # Cold execution (pool worker side)
 # ----------------------------------------------------------------------
-def _execute(request_json: str, cache_dir: Optional[str],
-             registry_dir: Optional[str]) -> Tuple[bool, str]:
+def _worker_metrics(
+    events: List[Dict[str, Any]], experiment: str, scale: str
+) -> Dict[str, Any]:
+    """Worker-side histogram deltas distilled from a session's spans.
+
+    Span close events carry exact durations; bucketing them here (in
+    the worker, against the bit-deterministic boundary function) means
+    the parent merges payloads that are identical no matter which
+    process observed them.
+    """
+    from repro.telemetry.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    families = {
+        "experiment": "repro_worker_experiment_seconds",
+        "workload": "repro_worker_workload_seconds",
+        "kernel_launch": "repro_worker_kernel_launch_seconds",
+    }
+    for event in events:
+        if event.get("ev") != "span_close":
+            continue
+        name = families.get(event.get("name"))
+        if name is None:
+            continue
+        registry.observe(
+            name, float(event.get("dur_s", 0.0)),
+            experiment=experiment, scale=scale,
+        )
+    return registry.to_dict()
+
+
+def _execute(
+    request_json: str,
+    cache_dir: Optional[str],
+    registry_dir: Optional[str],
+    request_id: str = "",
+) -> Tuple[bool, str, Optional[Dict[str, Any]]]:
     """Run one request in a worker process; never raises.
 
-    Returns ``(ok, canonical_response_json)``.  The worker pins its
-    own store locations explicitly — it must not inherit whatever
+    Returns ``(ok, canonical_response_json, extras)``.  The worker pins
+    its own store locations explicitly — it must not inherit whatever
     cache override the parent had installed when the pool forked — and
     persists the response bytes for the service's warm path before
     returning, so a response the parent serves is always one that is
     already durable.
+
+    With a ``request_id`` the worker opens its own telemetry session
+    (named by the id, after :func:`repro.telemetry.discard` fork
+    hygiene) and ships its deltas home in ``extras``: the bounded span
+    event list rooted under the request id, counter totals, and
+    pre-bucketed duration histograms — everything the parent needs to
+    stitch the request's trace and merge its metrics.
     """
     from repro import api
     from repro.common.config import override
     from repro.core.artifacts import ArtifactCache, set_artifact_cache
+    from repro.service.observability import BoundedMemorySink
 
     try:
         req = api.ExperimentRequest.from_json(request_json)
     except ValueError as exc:  # unreachable via the service; be safe
-        return False, json.dumps({"error": str(exc)})
+        return False, json.dumps({"error": str(exc)}), None
     if cache_dir:
         set_artifact_cache(ArtifactCache(cache_dir))
     else:
         set_artifact_cache(None)
+    sink: Optional[BoundedMemorySink] = None
+    if request_id:
+        # The inherited parent session (if the pool forked mid-trace)
+        # wraps the parent's file descriptors; drop it before starting
+        # this request's own in-memory session.
+        telemetry.discard()
+        sink = BoundedMemorySink()
+        telemetry.start(sink=sink, meta={"request_id": request_id})
     try:
         with override(registry_dir=registry_dir):
-            resp = api.execute(req)
+            if request_id:
+                with telemetry.span(
+                    "service.execute", request_id=request_id,
+                    experiment=req.experiment, scale=req.scale.value,
+                ):
+                    resp = api.execute(req)
+            else:
+                resp = api.execute(req)
             text = resp.to_json()
             if resp.ok and cache_dir:
                 ArtifactCache(cache_dir).put_json(
                     RESPONSE_KIND, req.experiment, req.scale,
                     req.content_key(), text,
                 )
-        return resp.ok, text
+        extras: Optional[Dict[str, Any]] = None
+        if sink is not None:
+            snapshot = telemetry.stop()
+            extras = {
+                "request_id": request_id,
+                "counters": dict(snapshot.get("counters", {})),
+                "metrics": _worker_metrics(
+                    sink.events, req.experiment, req.scale.value
+                ),
+                "spans": sink.events,
+                "dropped_events": sink.dropped,
+            }
+        return resp.ok, text, extras
     finally:
+        if request_id:
+            telemetry.discard()  # no-op after stop(); safety on errors
         set_artifact_cache(None, clear=True)
 
 
@@ -117,10 +205,14 @@ class ServiceStats:
     cold_seconds: float = 0.0
     warm_seconds: float = 0.0
     started_at: float = field(default_factory=time.time)
+    per_route: Dict[str, int] = field(default_factory=dict)
 
-    def snapshot(self) -> Dict[str, Any]:
+    def count_route(self, route: str) -> None:
+        self.per_route[route] = self.per_route.get(route, 0) + 1
+
+    def snapshot(self, inflight: Optional[int] = None) -> Dict[str, Any]:
         answered = self.warm + self.cold + self.coalesced
-        return {
+        snap: Dict[str, Any] = {
             "requests": self.requests,
             "warm": self.warm,
             "cold": self.cold,
@@ -140,7 +232,11 @@ class ServiceStats:
                 round(self.warm_seconds / self.warm, 6) if self.warm else 0.0
             ),
             "uptime_s": round(time.time() - self.started_at, 1),
+            "per_route": dict(sorted(self.per_route.items())),
         }
+        if inflight is not None:
+            snap["inflight"] = inflight
+        return snap
 
 
 # ----------------------------------------------------------------------
@@ -166,6 +262,8 @@ class ExperimentService:
         cache_dir: Optional[str] = None,
         registry_dir: Optional[str] = None,
         execute_fn: Optional[Callable[..., Tuple[bool, str]]] = None,
+        access_log: Optional[str] = None,
+        slow_request_s: Optional[float] = None,
     ):
         cfg = config()
         self.host = cfg.service_host if host is None else host
@@ -182,7 +280,25 @@ class ExperimentService:
             cfg.registry_dir if registry_dir is None else (registry_dir or None)
         )
         self.stats = ServiceStats()
+        self.obs = ServiceObservability(
+            access_log_path=(
+                cfg.service_access_log if access_log is None
+                else (access_log or None)
+            ),
+            slow_request_s=(
+                cfg.service_slow_ms / 1e3 if slow_request_s is None
+                else slow_request_s
+            ),
+            registry_dir=self.registry_dir,
+        )
         self._execute_fn = execute_fn or _execute
+        # Test fakes predate request-id propagation; feed extended
+        # arguments only to callables that declare a slot for them.
+        try:
+            n_params = len(inspect.signature(self._execute_fn).parameters)
+        except (TypeError, ValueError):  # builtins / C callables
+            n_params = 4
+        self._execute_takes_rid = n_params >= 4
         self._inflight: Dict[str, asyncio.Task] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
         self._server: Optional[asyncio.base_events.Server] = None
@@ -213,6 +329,12 @@ class ExperimentService:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        # Last: flush-then-close the access log.  Every request already
+        # recorded both its metrics sample and its log line before its
+        # response hit the socket, so the final scrape a client took
+        # and the flushed log agree on totals.  Idempotent — stop() may
+        # run again via spawn_service teardown.
+        self.obs.close()
 
     def request_shutdown(self) -> None:
         """Ask the serve loop to stop (call from within its loop)."""
@@ -252,9 +374,24 @@ class ExperimentService:
                     break
                 method, target, headers, body = parsed
                 keep_alive = headers.get("connection", "").lower() != "close"
-                status, payload, extra = await self._route(
-                    method, target, body
+                rid = self.obs.new_request_id()
+                t0 = time.perf_counter()
+                status, payload, extra, info = await self._route(
+                    method, target, body, rid
                 )
+                # Record before any further await: once the response is
+                # on the wire, its metrics sample and access-log line
+                # already exist, so a final scrape and the flushed log
+                # can never disagree.
+                self.obs.observe_http(
+                    target.partition("?")[0], method, status,
+                    time.perf_counter() - t0, rid,
+                    served=info.get("served", ""),
+                    experiment=info.get("experiment", ""),
+                    scale=info.get("scale", ""),
+                )
+                extra = dict(extra)
+                extra.setdefault("X-Repro-Request-Id", rid)
                 await self._write_response(
                     writer, status, payload, extra, keep_alive
                 )
@@ -315,32 +452,50 @@ class ExperimentService:
         await writer.drain()
 
     # -- routing ---------------------------------------------------------
-    async def _route(self, method: str, target: str,
-                     body: bytes) -> Tuple[int, bytes, Dict[str, str]]:
+    async def _route(
+        self, method: str, target: str, body: bytes, rid: str = ""
+    ) -> Tuple[int, bytes, Dict[str, str], Dict[str, str]]:
+        """Dispatch one request -> (status, payload, headers, info).
+
+        ``info`` is the observability sidecar: the served class and the
+        experiment/scale identity for the access log.  It never affects
+        the payload.
+        """
         self.stats.requests += 1
         telemetry.count("service.requests")
         path, _, query = target.partition("?")
+        self.stats.count_route(ServiceObservability.route_label(path))
         if path == "/healthz" and method == "GET":
             return 200, _dumps({
                 "ok": True,
                 "schema_version": SCHEMA_VERSION,
                 "inflight": len(self._inflight),
                 "queue_limit": self.queue_limit,
-            }), {}
+            }), {}, {}
         if path == "/v1/stats" and method == "GET":
-            return 200, _dumps(self.stats.snapshot()), {}
+            return 200, _dumps(
+                self.stats.snapshot(inflight=len(self._inflight))
+            ), {}, {}
+        if path == "/v1/metrics" and method == "GET":
+            text = self.obs.render(
+                self.stats.snapshot(), len(self._inflight),
+                self.queue_limit,
+            )
+            return 200, text.encode("utf-8"), {
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+            }, {}
         if path == "/v1/experiments":
             if method != "GET":
-                return 405, _dumps({"error": "GET only"}), {}
+                return 405, _dumps({"error": "GET only"}), {}, {}
             from repro.experiments import ALL_EXPERIMENTS
 
             return 200, _dumps({
                 "schema_version": SCHEMA_VERSION,
                 "experiments": list(ALL_EXPERIMENTS) + ["report"],
                 "scales": [s.value for s in SimScale],
-            }), {}
+            }), {}, {}
         if path == "/v1/experiment" and method == "POST":
-            return await self._handle_experiment_body(body)
+            return await self._handle_experiment_body(body, rid)
         if path == "/v1/report" and method == "GET":
             # The report layer rides the same request encoding: a GET
             # here is sugar for POSTing {"experiment": "report", ...}.
@@ -350,27 +505,28 @@ class ExperimentService:
                 req = ExperimentRequest("report", SimScale(scale))
             except ValueError as exc:
                 self.stats.bad_requests += 1
-                return 400, _dumps({"error": str(exc)}), {}
-            return await self._handle_experiment(req)
+                return 400, _dumps({"error": str(exc)}), {}, {}
+            return await self._handle_experiment(req, rid)
         if path == "/v1/shutdown" and method == "POST":
             self.request_shutdown()
-            return 200, _dumps({"ok": True, "stopping": True}), {}
+            return 200, _dumps({"ok": True, "stopping": True}), {}, {}
         return 404, _dumps({
             "error": f"no route {method} {path}",
             "routes": ["GET /healthz", "GET /v1/stats",
-                       "GET /v1/experiments", "POST /v1/experiment",
-                       "GET /v1/report", "POST /v1/shutdown"],
-        }), {}
+                       "GET /v1/metrics", "GET /v1/experiments",
+                       "POST /v1/experiment", "GET /v1/report",
+                       "POST /v1/shutdown"],
+        }), {}, {}
 
     async def _handle_experiment_body(
-        self, body: bytes
-    ) -> Tuple[int, bytes, Dict[str, str]]:
+        self, body: bytes, rid: str = ""
+    ) -> Tuple[int, bytes, Dict[str, str], Dict[str, str]]:
         try:
             req = ExperimentRequest.from_json(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
             self.stats.bad_requests += 1
             telemetry.count("service.bad_request")
-            return 400, _dumps({"error": str(exc)}), {}
+            return 400, _dumps({"error": str(exc)}), {}, {}
         # Unknown ids fail *here* (400, the asker's fault), not in a
         # pool worker (500, the service's fault).
         from repro.experiments import get_driver
@@ -380,18 +536,19 @@ class ExperimentService:
         except KeyError as exc:
             self.stats.bad_requests += 1
             telemetry.count("service.bad_request")
-            return 400, _dumps({"error": str(exc.args[0])}), {}
-        return await self._handle_experiment(req)
+            return 400, _dumps({"error": str(exc.args[0])}), {}, {}
+        return await self._handle_experiment(req, rid)
 
     # -- the warm/coalesced/cold core ------------------------------------
     async def _handle_experiment(
-        self, req: ExperimentRequest
-    ) -> Tuple[int, bytes, Dict[str, str]]:
+        self, req: ExperimentRequest, rid: str = ""
+    ) -> Tuple[int, bytes, Dict[str, str], Dict[str, str]]:
         t0 = time.perf_counter()
         key = req.content_key()
         served = "warm"
         text = self._load_warm(req, key)
         status = 200
+        info = {"experiment": req.experiment, "scale": req.scale.value}
         if text is None:
             task = self._inflight.get(key)
             if task is not None:
@@ -401,15 +558,16 @@ class ExperimentService:
             elif len(self._inflight) >= self.queue_limit:
                 self.stats.rejected += 1
                 telemetry.count("service.rejected")
+                info["served"] = "rejected"
                 return 429, _dumps({
                     "error": "cold-execution queue is full",
                     "inflight": len(self._inflight),
                     "retry_after_s": 1,
-                }), {"Retry-After": "1"}
+                }), {"Retry-After": "1"}, info
             else:
                 served = "cold"
                 task = asyncio.get_running_loop().create_task(
-                    self._run_cold(req, key)
+                    self._run_cold(req, key, rid)
                 )
                 self._inflight[key] = task
                 ok, text = await asyncio.shield(task)
@@ -417,24 +575,29 @@ class ExperimentService:
         dur = time.perf_counter() - t0
         self._account(served, status, dur)
         telemetry.count(f"service.{served}")
+        info["served"] = served if status < 500 else "error"
         # Post-hoc span: open/close with no await in between (the
         # registry is LIFO; see module docstring) — latency rides as
         # an attribute.
         with telemetry.span(
             "service.request", experiment=req.experiment,
             scale=req.scale.value, served=served, status=status,
-            latency_ms=round(dur * 1e3, 3),
+            latency_ms=round(dur * 1e3, 3), request_id=rid,
         ):
             pass
         return status, text.encode("utf-8"), {
             "X-Repro-Served": served,
             "X-Repro-Key": key,
-        }
+        }, info
 
     def _account(self, served: str, status: int, dur: float) -> None:
+        # The latency histogram families mirror the class counters
+        # sample for sample: each family's `_count` in /v1/metrics
+        # equals the matching /v1/stats integer, by construction.
         if status >= 500:
             self.stats.errors += 1
             telemetry.count("service.errors")
+            self.obs.observe_served("error", dur)
             return
         if served == "warm":
             self.stats.warm += 1
@@ -444,6 +607,7 @@ class ExperimentService:
             self.stats.cold_seconds += dur
         else:
             self.stats.coalesced += 1
+        self.obs.observe_served(served, dur)
 
     def _load_warm(self, req: ExperimentRequest, key: str) -> Optional[str]:
         """Stored canonical response bytes, or None.  Lock-free."""
@@ -455,22 +619,36 @@ class ExperimentService:
             RESPONSE_KIND, req.experiment, req.scale, key
         )
 
-    async def _run_cold(self, req: ExperimentRequest,
-                        key: str) -> Tuple[bool, str]:
+    async def _run_cold(self, req: ExperimentRequest, key: str,
+                        rid: str = "") -> Tuple[bool, str]:
         """One pooled execution; owns the inflight-map entry for key.
 
         Runs as its own task so a disconnecting leader client cannot
         cancel work that coalesced followers are waiting on.  Never
         raises: pool-level failures (a worker OOM-killed, a broken
         pool) become well-formed error responses.
+
+        The leader's request id rides into the worker; whatever deltas
+        come home (pre-bucketed histograms, counters, the span tree)
+        are merged here, and a slow execution persists its stitched
+        trace as an exemplar before followers are released.
         """
+        t0 = time.perf_counter()
         try:
             loop = asyncio.get_running_loop()
+            extras: Optional[Dict[str, Any]] = None
             try:
-                ok, text = await loop.run_in_executor(
-                    self._pool, self._execute_fn, req.to_json(),
-                    self.cache_dir, self.registry_dir,
+                call_args = [req.to_json(), self.cache_dir,
+                             self.registry_dir]
+                if self._execute_takes_rid:
+                    call_args.append(rid)
+                result = await loop.run_in_executor(
+                    self._pool, self._execute_fn, *call_args
                 )
+                if len(result) == 3:
+                    ok, text, extras = result
+                else:  # legacy 2-tuple execute fns (test fakes)
+                    ok, text = result
             except Exception as exc:  # noqa: BLE001 — pool edge
                 from repro.api import ExperimentResponse
 
@@ -478,6 +656,17 @@ class ExperimentService:
                 text = ExperimentResponse.failure(
                     req, f"execution failed: {type(exc).__name__}: {exc}"
                 ).to_json()
+            dur = time.perf_counter() - t0
+            self.obs.merge_worker(extras)
+            if extras is not None and dur >= self.obs.slow_request_s:
+                run_id = ""
+                with contextlib.suppress(ValueError, AttributeError):
+                    run_id = json.loads(text).get("run_id", "")
+                self.obs.maybe_exemplar(
+                    rid, req.experiment, req.scale.value, "cold",
+                    200 if ok else 500, dur, extras.get("spans"),
+                    run_id=run_id,
+                )
             return ok, text
         finally:
             self._inflight.pop(key, None)
@@ -542,17 +731,84 @@ def serve(
     queue_limit: Optional[int] = None,
     cache_dir: Optional[str] = None,
     registry_dir: Optional[str] = None,
+    access_log: Optional[str] = None,
+    slow_request_s: Optional[float] = None,
+    slo: Optional[str] = None,
+    baseline: Optional[str] = None,
+    save_baseline: Optional[str] = None,
 ) -> int:
     """Blocking entry point: run the daemon until SIGINT/SIGTERM.
 
-    Returns a process exit code (0 on clean shutdown).
+    Returns a process exit code: 0 on clean shutdown with all gates
+    green; nonzero when a declared ``--slo`` objective or a
+    ``--baseline`` drift comparison fails over the traffic this
+    lifetime served.  ``save_baseline`` persists this lifetime's
+    ``service/*`` metrics as a baseline record for future gating.
     """
     service = ExperimentService(
         host=host, port=port, workers=workers, queue_limit=queue_limit,
         cache_dir=cache_dir, registry_dir=registry_dir,
+        access_log=access_log, slow_request_s=slow_request_s,
     )
     try:
         asyncio.run(service.run_until_stopped())
     except KeyboardInterrupt:
         pass  # loops without add_signal_handler support
-    return 0
+    return gate_service_run(
+        service, slo=slo, baseline=baseline, save_baseline=save_baseline
+    )
+
+
+def gate_service_run(
+    service: ExperimentService,
+    slo: Optional[str] = None,
+    baseline: Optional[str] = None,
+    save_baseline: Optional[str] = None,
+    out=None,
+) -> int:
+    """Post-lifetime gating: SLO objectives + baseline drift.
+
+    Split from :func:`serve` so tests (and ``spawn_service`` users) can
+    gate an in-process service without owning the blocking loop.  The
+    service must already be stopped; its stats and histograms are
+    final.  Persists a ``service`` run record to the registry whenever
+    one is configured, so every gated lifetime is also archived.
+    """
+    from repro.service.slo import check_slo, parse_slo_spec, save_service_baseline
+
+    out = sys.stderr if out is None else out
+    snapshot = service.stats.snapshot()
+    metrics = service.obs.service_metrics(snapshot)
+    if service.registry_dir and snapshot["requests"]:
+        from repro.fidelity.registry import RunRecord, RunRegistry
+
+        record = RunRecord(
+            kind="service", scale="service", experiments=["service"],
+            metrics=metrics,
+            meta={"snapshot": snapshot,
+                  "access_log": service.obs.access_log_path or ""},
+        ).stamp()
+        path = RunRegistry(service.registry_dir).save(record)
+        print(f"[serve] service record -> {path}", file=out, flush=True)
+    if save_baseline:
+        path = save_service_baseline(metrics, save_baseline)
+        print(f"[serve] baseline saved -> {path}", file=out, flush=True)
+    exit_code = 0
+    if slo:
+        report = check_slo(metrics, parse_slo_spec(slo))
+        print(report.to_table().render(), file=out, flush=True)
+        print(report.summary_line(), file=out, flush=True)
+        exit_code = max(exit_code, report.exit_code)
+    if baseline:
+        from repro.fidelity.drift import check_drift
+        from repro.service.slo import load_service_baseline
+
+        base = load_service_baseline(baseline)
+        report = check_drift(
+            metrics, base, baseline_label=baseline, scale="service",
+            experiments=["service"],
+        )
+        print(report.to_table().render(), file=out, flush=True)
+        print(report.summary_line(), file=out, flush=True)
+        exit_code = max(exit_code, report.exit_code)
+    return exit_code

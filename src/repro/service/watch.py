@@ -1,0 +1,198 @@
+"""`runner watch` — a curses-free terminal dashboard for the service.
+
+Polls ``/v1/stats`` and ``/v1/metrics`` on an interval and renders a
+compact live view: per-served-class latency quantiles straight from
+the scraped histogram buckets, per-route request counts, gauges
+(in-flight depth, hit rates), and unicode sparklines of throughput and
+warm latency over the recent polling history.  Plain ``print`` with an
+ANSI home-and-clear prefix — works in any terminal, pipes cleanly when
+redirected (``--no-clear``), and needs nothing beyond the stdlib.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.common.tables import Table
+from repro.service.client import ServiceClient, ServiceError
+from repro.telemetry.metrics import (
+    histogram_buckets,
+    parse_prometheus,
+    quantile_from_buckets,
+)
+
+#: Eight-level bar alphabet, lowest to highest.
+SPARK = "▁▂▃▄▅▆▇█"
+
+#: ANSI: cursor home + clear-to-end (repaint without scrollback spam).
+_CLEAR = "\x1b[H\x1b[J"
+
+#: Polls of history behind each sparkline.
+HISTORY = 60
+
+
+def sparkline(values: List[float], width: int = 30) -> str:
+    """Render the last ``width`` values as a unicode bar strip.
+
+    Scaled to the window's own min..max so shape is visible whatever
+    the units; a flat series renders as a flat low bar.
+    """
+    tail = [v for v in values[-width:] if v == v]  # drop NaNs
+    if not tail:
+        return ""
+    lo, hi = min(tail), max(tail)
+    if hi <= lo:
+        return SPARK[0] * len(tail)
+    span = hi - lo
+    return "".join(
+        SPARK[min(len(SPARK) - 1, int((v - lo) / span * len(SPARK)))]
+        for v in tail
+    )
+
+
+class WatchState:
+    """Polling history + table rendering for one watched service."""
+
+    def __init__(self, history: int = HISTORY):
+        self.samples: Deque[Dict[str, Any]] = deque(maxlen=history)
+
+    # -- collection ------------------------------------------------------
+    def collect(self, client: ServiceClient) -> Dict[str, Any]:
+        stats = client.stats()
+        parsed = parse_prometheus(client.metrics_text())
+        sample = {
+            "t": time.monotonic(),
+            "stats": stats,
+            "parsed": parsed,
+        }
+        self.samples.append(sample)
+        return sample
+
+    # -- derived series --------------------------------------------------
+    def series(self, fn) -> List[float]:
+        return [fn(s) for s in self.samples]
+
+    def throughput(self) -> List[float]:
+        """Requests/s between consecutive polls."""
+        out: List[float] = []
+        prev: Optional[Dict[str, Any]] = None
+        for s in self.samples:
+            if prev is not None:
+                dt = s["t"] - prev["t"]
+                dn = (s["stats"]["requests"]
+                      - prev["stats"]["requests"])
+                out.append(dn / dt if dt > 0 else 0.0)
+            prev = s
+        return out
+
+    # -- rendering -------------------------------------------------------
+    @staticmethod
+    def _quantiles(
+        parsed: Dict[str, Dict[Any, float]], served: str
+    ) -> Optional[Tuple[float, float, float, float]]:
+        buckets = histogram_buckets(
+            parsed, "repro_service_request_latency_seconds",
+            served=served,
+        )
+        if buckets is None or not buckets or buckets[-1][1] == 0:
+            return None
+        return (
+            quantile_from_buckets(buckets, 0.5),
+            quantile_from_buckets(buckets, 0.95),
+            quantile_from_buckets(buckets, 0.99),
+            buckets[-1][1],
+        )
+
+    def render(self, host: str, port: int) -> str:
+        if not self.samples:
+            return f"watch {host}:{port} — waiting for first sample"
+        latest = self.samples[-1]
+        stats, parsed = latest["stats"], latest["parsed"]
+        lines: List[str] = [
+            f"repro service {host}:{port} — "
+            f"uptime {stats.get('uptime_s', 0.0):g}s, "
+            f"{stats['requests']} requests, "
+            f"inflight {stats.get('inflight', 0)}, "
+            f"warm hit rate {stats.get('warm_hit_rate', 0.0):.2%}, "
+            f"coalescing {stats.get('coalescing_ratio', 0.0):.2%}",
+            "",
+        ]
+        lat = Table("Latency by served class (scraped histograms)",
+                    ["served", "p50 ms", "p95 ms", "p99 ms", "count"])
+        for served in ("warm", "coalesced", "cold", "error"):
+            q = self._quantiles(parsed, served)
+            if q is None:
+                continue
+            p50, p95, p99, count = q
+            lat.add_row([served, f"{p50 * 1e3:.3f}", f"{p95 * 1e3:.3f}",
+                         f"{p99 * 1e3:.3f}", f"{int(count)}"])
+        lines.append(lat.render())
+        routes = Table("Requests by route", ["route", "count"])
+        for route, count in sorted(
+            (stats.get("per_route") or {}).items()
+        ):
+            routes.add_row([route, str(count)])
+        lines.append(routes.render())
+        rps = self.throughput()
+        if rps:
+            lines.append(
+                f"throughput rps  {sparkline(rps)}  "
+                f"(now {rps[-1]:.1f}/s)"
+            )
+
+        def warm_p50(sample: Dict[str, Any]) -> float:
+            q = self._quantiles(sample["parsed"], "warm")
+            return q[0] * 1e3 if q else float("nan")
+
+        warm = [v for v in self.series(warm_p50)]
+        if any(v == v for v in warm):
+            tail = [v for v in warm if v == v]
+            lines.append(
+                f"warm p50 ms     {sparkline(warm)}  "
+                f"(now {tail[-1]:.3f}ms)"
+            )
+        return "\n".join(lines)
+
+
+def watch(
+    host: str,
+    port: int,
+    interval_s: float = 2.0,
+    iterations: Optional[int] = None,
+    clear: bool = True,
+    out=None,
+) -> int:
+    """Poll and repaint until interrupted (or ``iterations`` polls).
+
+    Returns 0 on a clean exit (Ctrl-C included — leaving a dashboard
+    is not an error), 1 when the service could not be reached at all.
+    """
+    out = sys.stdout if out is None else out
+    state = WatchState()
+    client = ServiceClient(host, port, timeout=max(10.0, interval_s * 5))
+    polled = 0
+    try:
+        while iterations is None or polled < iterations:
+            try:
+                state.collect(client)
+                frame = state.render(host, port)
+            except ServiceError as exc:
+                if not state.samples:
+                    print(f"watch: {exc}", file=sys.stderr, flush=True)
+                    return 1
+                frame = (state.render(host, port)
+                         + f"\n[connection lost: {exc}]")
+            print((_CLEAR if clear else "") + frame, file=out,
+                  flush=True)
+            polled += 1
+            if iterations is not None and polled >= iterations:
+                break
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        client.close()
+    return 0

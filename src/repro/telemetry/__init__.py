@@ -563,9 +563,15 @@ def diff_counters(
     return out
 
 
-# Companion modules (import at the bottom: both import nothing from this
-# module at import time, so the package namespace stays one-stop).
+# Companion modules (import at the bottom: none import anything from
+# this module at import time, so the package namespace stays one-stop).
 from repro.telemetry.chrome import trace_to_chrome  # noqa: E402
+from repro.telemetry.metrics import (  # noqa: E402
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+    render_prometheus,
+)
 from repro.telemetry.profile import (  # noqa: E402
     aggregate_spans,
     hot_spans_table,

@@ -1,0 +1,457 @@
+"""Streaming service metrics: log-bucketed histograms, labeled families.
+
+The simulator side of the stack already has first-class counters
+(:mod:`repro.gpusim.profiler`); this module gives the *serving* side
+the same treatment.  Three instrument kinds live in a
+:class:`MetricsRegistry`, each addressable by a metric name plus a
+label set (``observe("latency", 0.01, served="warm")``):
+
+- **Counters** — monotonic integer totals.
+- **Gauges** — last-value measurements.
+- **Histograms** — :class:`Histogram`, a streaming log-bucketed
+  distribution sketch: constant memory (one integer per *occupied*
+  bucket), exact ``count``/``sum``/``min``/``max``, and quantiles with
+  a guaranteed relative error bound.
+
+Design constraints, in priority order:
+
+1. **Bit-deterministic bucket boundaries.**  Bucket ``i`` covers
+   ``(2**((i-1)/SUBBUCKETS), 2**(i/SUBBUCKETS)]``.  Boundaries are a
+   pure function of the integer index — never of the data — so two
+   histograms built in different processes bucket identically and a
+   merged sketch is indistinguishable from one built in a single
+   process (the cross-process contract the experiment service relies
+   on when workers ship their deltas back to the parent).
+2. **Mergeable.**  :meth:`Histogram.merge` adds bucket counts;
+   bucket counts, ``count``, ``min``, ``max`` — and therefore every
+   quantile — are exactly associative under merge (integer adds and
+   min/max).  ``sum`` is a float accumulation and is associative only
+   up to ULP-level rounding; tests pin the former bit-exactly and
+   bound the latter.
+3. **Bounded quantile error.**  :meth:`Histogram.quantile` returns the
+   upper boundary of the bucket holding the rank-``ceil(q*n)`` sample
+   (capped at the exact ``max``).  The true sample lies in that
+   bucket, so the estimate overshoots by at most a factor of
+   ``GROWTH``: relative error < :data:`RELATIVE_ERROR` (~4.4% with 16
+   sub-buckets per octave), verified against exact numpy percentiles
+   by property tests.
+
+:func:`render_prometheus` serializes a registry in the Prometheus text
+exposition format (histograms as cumulative ``_bucket``/``_sum``/
+``_count`` series); :func:`parse_prometheus` reads it back, which is
+how ``runner watch`` and the CI scrape assert on live services.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Buckets per power of two.  16 sub-buckets give a bucket-width growth
+#: factor of 2**(1/16) ~= 1.0443 -> quantile relative error < 4.43%.
+SUBBUCKETS = 16
+
+#: Multiplicative width of one bucket: upper/lower boundary ratio.
+GROWTH = 2.0 ** (1.0 / SUBBUCKETS)
+
+#: Guaranteed bound on quantile relative error (see module docstring).
+RELATIVE_ERROR = GROWTH - 1.0
+
+#: Index clamp keeping ``2**(i/SUBBUCKETS)`` inside the float range.
+_MAX_INDEX = 1023 * SUBBUCKETS
+_MIN_INDEX = -1074 * SUBBUCKETS
+
+_LABELS_NONE: Tuple[Tuple[str, str], ...] = ()
+
+
+def bucket_bound(index: int) -> float:
+    """Upper boundary of bucket ``index``: ``2**(index/SUBBUCKETS)``.
+
+    A pure function of the integer index — the source of the
+    bit-deterministic boundary guarantee.
+    """
+    return 2.0 ** (index / SUBBUCKETS)
+
+
+def bucket_index(value: float) -> int:
+    """The bucket holding ``value`` (> 0): smallest ``i`` with
+    ``bucket_bound(i) >= value``.
+
+    ``log2`` seeds the search; the correction loops make the result
+    exact at bucket boundaries regardless of libm rounding, so the
+    index is a deterministic function of the value alone.
+    """
+    i = math.ceil(SUBBUCKETS * math.log2(value))
+    while bucket_bound(i) < value:
+        i += 1
+    while i > _MIN_INDEX and bucket_bound(i - 1) >= value:
+        i -= 1
+    return max(_MIN_INDEX, min(_MAX_INDEX, i))
+
+
+class Histogram:
+    """A mergeable streaming distribution sketch (see module docstring).
+
+    Values ``<= 0`` land in a dedicated underflow bucket with upper
+    boundary ``0.0`` (latencies are positive; the bucket exists so a
+    clock hiccup cannot crash the collector or poison an index).
+    """
+
+    __slots__ = ("buckets", "zero", "count", "sum", "min", "max")
+
+    def __init__(self):
+        self.buckets: Dict[int, int] = {}
+        self.zero = 0          # observations <= 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        if v <= 0.0:
+            self.zero += 1
+        else:
+            i = bucket_index(v)
+            self.buckets[i] = self.buckets.get(i, 0) + 1
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this sketch in place; returns self.
+
+        Bucket counts, ``count``, ``min``, ``max`` merge exactly
+        (associative); ``sum`` is float addition.
+        """
+        for i, c in other.buckets.items():
+            self.buckets[i] = self.buckets.get(i, 0) + c
+        self.zero += other.zero
+        self.count += other.count
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile (``q`` in [0, 1]).
+
+        Returns the upper boundary of the bucket containing the
+        rank-``ceil(q*count)`` sample, capped at the exact maximum, so
+        the estimate ``b`` and the true sample ``v`` satisfy
+        ``v <= b < v * GROWTH``.  0.0 for an empty histogram.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = min(self.count, max(1, math.ceil(q * self.count)))
+        seen = self.zero
+        if rank <= seen:
+            return min(0.0, self.max)
+        for i in sorted(self.buckets):
+            seen += self.buckets[i]
+            if seen >= rank:
+                return min(bucket_bound(i), self.max)
+        return self.max  # pragma: no cover — counts always sum to count
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """Sorted ``(upper_bound, cumulative_count)`` pairs.
+
+        The Prometheus ``_bucket`` series: every occupied boundary in
+        increasing order, ending with ``(inf, count)``.
+        """
+        out: List[Tuple[float, int]] = []
+        running = 0
+        if self.zero:
+            running += self.zero
+            out.append((0.0, running))
+        for i in sorted(self.buckets):
+            running += self.buckets[i]
+            out.append((bucket_bound(i), running))
+        out.append((math.inf, self.count))
+        return out
+
+    # -- wire format -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe encoding; floats round-trip bit-exactly."""
+        return {
+            "buckets": {str(i): c for i, c in sorted(self.buckets.items())},
+            "zero": self.zero,
+            "count": self.count,
+            "sum": self.sum,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, body: Mapping[str, Any]) -> "Histogram":
+        h = cls()
+        h.buckets = {int(i): int(c) for i, c in body["buckets"].items()}
+        h.zero = int(body["zero"])
+        h.count = int(body["count"])
+        h.sum = float(body["sum"])
+        h.min = math.inf if body["min"] is None else float(body["min"])
+        h.max = -math.inf if body["max"] is None else float(body["max"])
+        return h
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, "
+            f"p50={self.quantile(0.5):.6g}, "
+            f"p99={self.quantile(0.99):.6g}, "
+            f"max={(self.max if self.count else 0.0):.6g})"
+        )
+
+
+def _label_key(labels: Mapping[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    if not labels:
+        return _LABELS_NONE
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Labeled metric families: counters, gauges, histograms.
+
+    One registry per process/service; instruments are created lazily on
+    first touch.  Not thread-safe by design — the service mutates it
+    only from its event loop, and cross-process deltas arrive as
+    :meth:`to_dict` payloads folded in with :meth:`merge`.
+    """
+
+    def __init__(self):
+        self.counters: Dict[str, Dict[Tuple, int]] = {}
+        self.gauges: Dict[str, Dict[Tuple, float]] = {}
+        self.histograms: Dict[str, Dict[Tuple, Histogram]] = {}
+
+    # -- instruments -----------------------------------------------------
+    def inc(self, name: str, n: int = 1, **labels) -> None:
+        fam = self.counters.setdefault(name, {})
+        key = _label_key(labels)
+        fam[key] = fam.get(key, 0) + n
+
+    def sync_counter(self, name: str, value: int, **labels) -> None:
+        """Set a counter's absolute total (for externally-kept tallies).
+
+        The service's always-on :class:`ServiceStats` integers are the
+        source of truth for request accounting; at scrape time they are
+        synced here so one renderer covers everything.
+        """
+        self.counters.setdefault(name, {})[_label_key(labels)] = int(value)
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        self.gauges.setdefault(name, {})[_label_key(labels)] = float(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        fam = self.histograms.setdefault(name, {})
+        key = _label_key(labels)
+        hist = fam.get(key)
+        if hist is None:
+            hist = fam[key] = Histogram()
+        return hist
+
+    # -- reads -----------------------------------------------------------
+    def counter_value(self, name: str, **labels) -> int:
+        return self.counters.get(name, {}).get(_label_key(labels), 0)
+
+    def counter_total(self, name: str) -> int:
+        """Sum of a counter family across all label sets."""
+        return sum(self.counters.get(name, {}).values())
+
+    # -- wire format -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": {
+                name: [[dict(key), value] for key, value in sorted(fam.items())]
+                for name, fam in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: [[dict(key), value] for key, value in sorted(fam.items())]
+                for name, fam in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: [[dict(key), hist.to_dict()]
+                       for key, hist in sorted(fam.items())]
+                for name, fam in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, body: Mapping[str, Any]) -> "MetricsRegistry":
+        reg = cls()
+        reg.merge(body)
+        return reg
+
+    def merge(self, body: Mapping[str, Any]) -> None:
+        """Fold a :meth:`to_dict` payload in: counters and histogram
+        buckets add, gauges take the incoming (latest) value."""
+        for name, entries in body.get("counters", {}).items():
+            for labels, value in entries:
+                self.inc(name, int(value), **labels)
+        for name, entries in body.get("gauges", {}).items():
+            for labels, value in entries:
+                self.set_gauge(name, value, **labels)
+        for name, entries in body.get("histograms", {}).items():
+            for labels, hist_body in entries:
+                self.histogram(name, **labels).merge(
+                    Histogram.from_dict(hist_body)
+                )
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _labels_text(key: Iterable[Tuple[str, str]],
+                 extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(key)
+    if extra is not None:
+        pairs = pairs + [extra]
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    # repr round-trips Python floats exactly; the parser reads float().
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (sorted, stable)."""
+    lines: List[str] = []
+    for name in sorted(registry.counters):
+        lines.append(f"# TYPE {name} counter")
+        for key, value in sorted(registry.counters[name].items()):
+            lines.append(f"{name}{_labels_text(key)} {_fmt(value)}")
+    for name in sorted(registry.gauges):
+        lines.append(f"# TYPE {name} gauge")
+        for key, value in sorted(registry.gauges[name].items()):
+            lines.append(f"{name}{_labels_text(key)} {_fmt(value)}")
+    for name in sorted(registry.histograms):
+        lines.append(f"# TYPE {name} histogram")
+        for key, hist in sorted(registry.histograms[name].items()):
+            for bound, cum in hist.cumulative():
+                le = "+Inf" if bound == math.inf else _fmt(bound)
+                lines.append(
+                    f"{name}_bucket{_labels_text(key, ('le', le))} {cum}"
+                )
+            lines.append(f"{name}_sum{_labels_text(key)} {_fmt(hist.sum)}")
+            lines.append(f"{name}_count{_labels_text(key)} {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+#: Parsed exposition: name -> {sorted-label-tuple -> value}.
+Parsed = Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]
+
+
+def parse_prometheus(text: str) -> Parsed:
+    """Parse text exposition back into ``name -> {labels -> value}``.
+
+    Raises ``ValueError`` on a malformed sample line; comments and
+    blank lines are skipped.  Histogram series come back as their
+    component samples (``<name>_bucket`` with an ``le`` label,
+    ``<name>_sum``, ``<name>_count``) — see :func:`histogram_buckets`.
+    """
+    out: Parsed = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name, labels_text, value_text = m.groups()
+        labels: Dict[str, str] = {}
+        if labels_text:
+            for lm in _LABEL_RE.finditer(labels_text):
+                labels[lm.group(1)] = _unescape(lm.group(2))
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: bad value {value_text!r}"
+            ) from None
+        out.setdefault(name, {})[_label_key(labels)] = value
+    return out
+
+
+def exposition_value(parsed: Parsed, name: str, **labels) -> float:
+    """One sample's value; raises ``KeyError`` when absent."""
+    return parsed[name][_label_key(labels)]
+
+
+def histogram_buckets(parsed: Parsed, name: str,
+                      **labels) -> List[Tuple[float, int]]:
+    """Reassemble a histogram's cumulative buckets from parsed samples.
+
+    ``labels`` are the series labels *without* ``le``.  Returns sorted
+    ``(upper_bound, cumulative_count)`` pairs (``+Inf`` last); empty
+    when the series is absent.
+    """
+    want = dict(_label_key(labels))
+    out: List[Tuple[float, int]] = []
+    for key, value in parsed.get(f"{name}_bucket", {}).items():
+        kd = dict(key)
+        le = kd.pop("le", None)
+        if le is None or kd != want:
+            continue
+        out.append((float(le), int(value)))
+    out.sort()
+    return out
+
+
+def quantile_from_buckets(buckets: List[Tuple[float, int]],
+                          q: float) -> float:
+    """Quantile estimate from cumulative ``(bound, count)`` pairs.
+
+    The scrape-side twin of :meth:`Histogram.quantile` (without the
+    exact-max cap, which does not travel through the exposition
+    format): the first boundary whose cumulative count reaches
+    ``ceil(q * total)``.
+    """
+    if not buckets:
+        return 0.0
+    total = buckets[-1][1]
+    if total <= 0:
+        return 0.0
+    rank = min(total, max(1, math.ceil(q * total)))
+    for bound, cum in buckets:
+        if cum >= rank:
+            return bound
+    return buckets[-1][0]  # pragma: no cover

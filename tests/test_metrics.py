@@ -1,0 +1,287 @@
+"""Histogram correctness: the contracts the service observability
+layer leans on (repro.telemetry.metrics).
+
+Property-tested (hypothesis):
+
+- **Merge associativity** — bucket counts, count, zero, min, max (and
+  therefore every quantile) are bit-exact under any merge grouping;
+  ``sum`` is float accumulation and is pinned only to a relative
+  tolerance.
+- **Quantile error bounds** — the sketch quantile never undershoots
+  the exact rank statistic (numpy ``inverted_cdf``) and overshoots by
+  less than ``RELATIVE_ERROR``.
+- **Cross-process bit-determinism** — a histogram built in a child
+  process and merged over the JSON wire format is indistinguishable
+  from one built locally, byte for byte.
+"""
+
+import json
+import math
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.metrics import (
+    GROWTH,
+    RELATIVE_ERROR,
+    Histogram,
+    MetricsRegistry,
+    bucket_bound,
+    bucket_index,
+    exposition_value,
+    histogram_buckets,
+    parse_prometheus,
+    quantile_from_buckets,
+    render_prometheus,
+)
+
+_SETTINGS = dict(max_examples=60, deadline=None)
+
+#: Positive values spanning the realistic measurement range (sub-ns to
+#: hours-in-seconds) plus awkward magnitudes near bucket boundaries.
+_values = st.floats(
+    min_value=1e-12, max_value=1e12,
+    allow_nan=False, allow_infinity=False,
+)
+_value_lists = st.lists(_values, min_size=1, max_size=200)
+
+
+def _fill(values):
+    h = Histogram()
+    for v in values:
+        h.observe(v)
+    return h
+
+
+# ----------------------------------------------------------------------
+# Bucket boundary function
+# ----------------------------------------------------------------------
+class TestBuckets:
+    def test_bound_is_pure_power(self):
+        assert bucket_bound(0) == 1.0
+        assert bucket_bound(16) == 2.0
+        assert bucket_bound(-16) == 0.5
+        assert bucket_bound(32) == 4.0
+
+    def test_index_brackets_value(self):
+        for v in (1e-9, 0.5, 1.0, 1.0000001, 2.0, 3.7, 1e6):
+            i = bucket_index(v)
+            assert bucket_bound(i) >= v
+            assert bucket_bound(i - 1) < v
+
+    def test_boundary_values_land_inclusive(self):
+        # Bucket i covers (bound(i-1), bound(i)] — an exact boundary
+        # value belongs to its own bucket, not the next one.
+        for i in (-100, -1, 0, 1, 16, 160):
+            assert bucket_index(bucket_bound(i)) == i
+
+    @given(_values)
+    @settings(**_SETTINGS)
+    def test_index_deterministic_and_bracketing(self, v):
+        i = bucket_index(v)
+        assert i == bucket_index(v)
+        assert bucket_bound(i) >= v
+        assert bucket_bound(i - 1) < v
+
+    def test_growth_matches_relative_error(self):
+        assert GROWTH == 2.0 ** (1.0 / 16)
+        assert RELATIVE_ERROR == GROWTH - 1.0
+
+
+# ----------------------------------------------------------------------
+# Merge associativity
+# ----------------------------------------------------------------------
+class TestMergeAssociativity:
+    @given(_value_lists, _value_lists, _value_lists)
+    @settings(**_SETTINGS)
+    def test_grouping_invariant(self, a, b, c):
+        ha, hb, hc = _fill(a), _fill(b), _fill(c)
+        left = _fill(a).merge(_fill(b)).merge(_fill(c))      # (A+B)+C
+        right = _fill(a).merge(_fill(b).merge(_fill(c)))     # A+(B+C)
+        single = _fill(a + b + c)                            # one pass
+        for other in (right, single):
+            assert left.buckets == other.buckets
+            assert left.zero == other.zero
+            assert left.count == other.count
+            assert left.min == other.min
+            assert left.max == other.max
+            for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+                assert left.quantile(q) == other.quantile(q)
+            # Float sums agree only up to accumulation-order rounding.
+            assert other.sum == pytest.approx(left.sum, rel=1e-9)
+        # Merging never mutated the inputs' own observations.
+        assert ha.count == len(a) and hb.count == len(b)
+        assert hc.count == len(c)
+
+    @given(_value_lists)
+    @settings(**_SETTINGS)
+    def test_merge_with_empty_is_identity(self, a):
+        h = _fill(a)
+        before = h.to_dict()
+        h.merge(Histogram())
+        assert h.to_dict() == before
+        fresh = Histogram().merge(_fill(a))
+        assert fresh.to_dict() == before
+
+
+# ----------------------------------------------------------------------
+# Quantile error bounds vs exact numpy percentiles
+# ----------------------------------------------------------------------
+class TestQuantileBounds:
+    @given(_value_lists, st.floats(min_value=0.0, max_value=1.0))
+    @settings(**_SETTINGS)
+    def test_bounded_overshoot_never_undershoot(self, values, q):
+        h = _fill(values)
+        est = h.quantile(q)
+        # The rank the sketch targets: ceil(q*n) clamped to [1, n] —
+        # numpy's inverted_cdf computes the same rank statistic.
+        exact = float(np.percentile(values, q * 100.0,
+                                    method="inverted_cdf"))
+        assert est >= exact or math.isclose(est, exact)
+        assert est <= exact * GROWTH * (1 + 1e-12)
+
+    def test_extremes_are_exact(self):
+        h = _fill([3.0, 1.0, 2.0])
+        assert h.quantile(1.0) == 3.0      # capped at exact max
+        assert h.min == 1.0 and h.max == 3.0
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.quantile(0.5) == 0.0
+        assert h.count == 0
+        assert h.to_dict()["min"] is None
+
+    def test_nonpositive_underflow_bucket(self):
+        h = _fill([-1.0, 0.0, 5.0])
+        assert h.zero == 2
+        assert h.count == 3
+        assert h.quantile(0.5) == 0.0      # rank-2 sample is <= 0
+        assert h.quantile(1.0) == 5.0
+
+
+# ----------------------------------------------------------------------
+# Cross-process merge bit-determinism
+# ----------------------------------------------------------------------
+_CHILD = r"""
+import json, sys
+from repro.telemetry.metrics import Histogram
+values = json.loads(sys.stdin.read())
+h = Histogram()
+for v in values:
+    h.observe(v)
+sys.stdout.write(json.dumps(h.to_dict()))
+"""
+
+
+def _child_env():
+    import os
+    import pathlib
+
+    import repro
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(pathlib.Path(repro.__file__).parent.parent)
+    return env
+
+
+class TestCrossProcess:
+    def test_child_histogram_is_bit_identical(self):
+        rng = np.random.default_rng(7)
+        values = (10.0 ** rng.uniform(-6, 3, size=500)).tolist()
+        out = subprocess.run(
+            [sys.executable, "-c", _CHILD],
+            input=json.dumps(values), capture_output=True, text=True,
+            check=True, env=_child_env(),
+        )
+        child = Histogram.from_dict(json.loads(out.stdout))
+        local = _fill(values)
+        assert child.to_dict() == local.to_dict()
+        assert json.dumps(child.to_dict(), sort_keys=True) == \
+            json.dumps(local.to_dict(), sort_keys=True)
+
+    def test_parent_merge_of_child_shards_equals_single_process(self):
+        rng = np.random.default_rng(11)
+        values = (10.0 ** rng.uniform(-6, 3, size=600)).tolist()
+        shards = [values[0:200], values[200:400], values[400:600]]
+        merged = Histogram()
+        for shard in shards:
+            out = subprocess.run(
+                [sys.executable, "-c", _CHILD],
+                input=json.dumps(shard), capture_output=True,
+                text=True, check=True, env=_child_env(),
+            )
+            merged.merge(Histogram.from_dict(json.loads(out.stdout)))
+        local = _fill(values)
+        assert merged.buckets == local.buckets
+        assert merged.count == local.count
+        assert merged.min == local.min and merged.max == local.max
+        for q in (0.5, 0.95, 0.99):
+            assert merged.quantile(q) == local.quantile(q)
+
+
+# ----------------------------------------------------------------------
+# Registry + exposition format
+# ----------------------------------------------------------------------
+class TestRegistryAndExposition:
+    def test_counter_gauge_histogram_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.inc("req_total", 3, route="/x")
+        reg.inc("req_total", route="/y")
+        reg.set_gauge("inflight", 2.5)
+        for v in (0.001, 0.002, 0.004, 1.5):
+            reg.observe("lat_seconds", v, served="warm")
+        other = MetricsRegistry.from_dict(reg.to_dict())
+        assert other.to_dict() == reg.to_dict()
+        # Merging a payload twice doubles counters and bucket counts.
+        other.merge(reg.to_dict())
+        assert other.counter_value("req_total", route="/x") == 6
+        assert other.histogram("lat_seconds", served="warm").count == 8
+
+    def test_exposition_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.inc("a_total", 7, route="/v1/experiment", status="200")
+        reg.set_gauge("depth", 3.0)
+        for v in (0.25, 0.5, 1.0, 2.0, 4.0):
+            reg.observe("lat", v, served="cold")
+        text = render_prometheus(reg)
+        assert "# TYPE a_total counter" in text
+        assert "# TYPE lat histogram" in text
+        parsed = parse_prometheus(text)
+        assert exposition_value(
+            parsed, "a_total", route="/v1/experiment", status="200"
+        ) == 7.0
+        assert exposition_value(parsed, "depth") == 3.0
+        assert exposition_value(parsed, "lat_count", served="cold") == 5.0
+        buckets = histogram_buckets(parsed, "lat", served="cold")
+        assert buckets[-1] == (math.inf, 5)
+        # Cumulative counts are monotone and end at the total.
+        counts = [c for _, c in buckets]
+        assert counts == sorted(counts)
+        # The scrape-side quantile matches the in-process sketch's
+        # bucket boundary (no max cap through the wire).
+        q = quantile_from_buckets(buckets, 0.5)
+        h = reg.histogram("lat", served="cold")
+        rank_bound = sorted(h.buckets)[2]  # rank 3 of 5
+        assert q == bucket_bound(rank_bound)
+
+    def test_label_escaping_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.inc("weird_total", 1, path='a"b\\c\nd')
+        parsed = parse_prometheus(render_prometheus(reg))
+        assert exposition_value(
+            parsed, "weird_total", path='a"b\\c\nd'
+        ) == 1.0
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("not a sample line at all }{\n")
+
+    def test_sync_counter_is_absolute(self):
+        reg = MetricsRegistry()
+        reg.sync_counter("stat", 5)
+        reg.sync_counter("stat", 9)
+        assert reg.counter_value("stat") == 9
+        assert reg.counter_total("stat") == 9
