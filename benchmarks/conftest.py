@@ -5,40 +5,48 @@ Benchmarks run the paper's experiments at SMALL scale (override with
 rendered tables to ``benchmarks/results/<id>.txt`` so the regenerated
 paper data survives the run.
 
-With ``--update-bench`` (or ``REPRO_BENCH_UPDATE=1``), every
-benchmark's wall-clock time is appended to
-``benchmarks/BENCH_timings.json`` at session end — one record per
-session with a per-test breakdown — so performance regressions across
-commits show up as a trajectory, not anecdotes.  Exploratory runs
-without the flag leave the history untouched.
+With ``--update-bench`` (or ``REPRO_BENCH_UPDATE=1``), the session is
+appended to ``benchmarks/BENCH_timings.json`` — per-test wall clock,
+**outcome** (skipped/failed benches no longer vanish from the record),
+and **peak RSS**, under a cross-process file lock so concurrent
+sessions both land — and dual-written into the perfwatch history
+(``benchmarks/perf-history.jsonl``, or ``REPRO_PERF_HISTORY``; ``off``
+disables), where ``runner perf gate|trend|report`` turn the one-shot
+numbers into an analyzable trajectory (docs/PERF.md).  Exploratory runs
+without the flag leave both files untouched.
+
+The recording logic lives in :mod:`repro.perfwatch.bench` — this file
+is only the pytest wiring.
 """
 
-import json
 import os
 import pathlib
-import time
 
 import pytest
 
-from repro.common.config import SimScale
+from repro.common.config import SimScale, config
+from repro.perfwatch.bench import BenchRecorder, append_bench_record
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 TIMINGS_PATH = pathlib.Path(__file__).parent / "BENCH_timings.json"
+HISTORY_PATH = pathlib.Path(__file__).parent / "perf-history.jsonl"
 
-_timings = {}
+_recorder = BenchRecorder(
+    scale=os.environ.get("REPRO_BENCH_SCALE", "small")
+)
 
 
 def pytest_addoption(parser):
     parser.addoption(
         "--update-bench", action="store_true", default=False,
-        help="append this session's timings to BENCH_timings.json "
+        help="append this session's timings/outcomes/RSS to "
+             "BENCH_timings.json and the perfwatch history "
              "(REPRO_BENCH_UPDATE=1 is the environment fallback)",
     )
 
 
 def pytest_runtest_logreport(report):
-    if report.when == "call" and report.passed:
-        _timings[report.nodeid] = round(report.duration, 4)
+    _recorder.observe(report)
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -46,23 +54,24 @@ def pytest_sessionfinish(session, exitstatus):
         os.environ.get("REPRO_BENCH_UPDATE", "").strip().lower()
         in ("1", "yes", "true", "on")
     )
-    if not _timings or not update:
+    if _recorder.empty or not update:
         return
-    try:
-        history = json.loads(TIMINGS_PATH.read_text())
-        if not isinstance(history, list):
-            history = []
-    except (OSError, ValueError):
-        history = []
-    history.append(
-        {
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-            "scale": os.environ.get("REPRO_BENCH_SCALE", "small"),
-            "total_s": round(sum(_timings.values()), 4),
-            "tests": dict(sorted(_timings.items())),
-        }
-    )
-    TIMINGS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    from repro.perfwatch.bench import dual_write_history
+    from repro.perfwatch.store import environment_tags
+
+    tags = environment_tags()
+    record = _recorder.record(tags)
+    append_bench_record(TIMINGS_PATH, record)
+    # Dual-write: the same session extends the analyzable trajectory.
+    # REPRO_PERF_HISTORY overrides the default next-door path; "off"
+    # (config().perf_history is None) disables the mirror entirely.
+    env_path = os.environ.get("REPRO_PERF_HISTORY", "").strip()
+    if env_path:
+        history_path = config().perf_history  # None when "off"
+    else:
+        history_path = str(HISTORY_PATH)
+    if history_path:
+        dual_write_history(history_path, record, tags)
 
 
 @pytest.fixture(scope="session")

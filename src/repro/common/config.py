@@ -90,6 +90,11 @@ DEFAULT_SERVICE_QUEUE = 8
 #: (milliseconds; see repro.service.observability).
 DEFAULT_SERVICE_SLOW_MS = 1000.0
 
+#: Default perf-history trajectory (repro.perfwatch / docs/PERF.md).
+#: Lives next to BENCH_timings.json: the benchmark harness dual-writes
+#: its sessions there, and `runner perf` reads it by default.
+DEFAULT_PERF_HISTORY = "benchmarks/perf-history.jsonl"
+
 _ENV_VARS = (
     "REPRO_GPU_BATCH",
     "REPRO_GPU_BATCH_LANES",
@@ -109,6 +114,7 @@ _ENV_VARS = (
     "REPRO_SERVICE_QUEUE",
     "REPRO_SERVICE_ACCESS_LOG",
     "REPRO_SERVICE_SLOW_MS",
+    "REPRO_PERF_HISTORY",
 )
 
 
@@ -180,6 +186,11 @@ class RuntimeConfig:
                        no access log (``REPRO_SERVICE_ACCESS_LOG``).
     service_slow_ms -- slow-request exemplar threshold in milliseconds
                        (``REPRO_SERVICE_SLOW_MS``).
+    perf_history    -- perf-history JSONL trajectory read/written by
+                       ``runner perf`` and the benchmark harness
+                       (``REPRO_PERF_HISTORY``; ``off`` disables the
+                       harness dual-write and makes the CLI demand an
+                       explicit ``--history``).
     """
 
     gpu_batch: bool = True
@@ -200,6 +211,7 @@ class RuntimeConfig:
     service_queue: int = DEFAULT_SERVICE_QUEUE
     service_access_log: Optional[str] = None
     service_slow_ms: float = DEFAULT_SERVICE_SLOW_MS
+    perf_history: Optional[str] = DEFAULT_PERF_HISTORY
 
     @classmethod
     def from_env(cls) -> "RuntimeConfig":
@@ -221,6 +233,13 @@ class RuntimeConfig:
         chunk_rows = _parse_bytes(
             os.environ.get("REPRO_TRACE_CHUNK"), DEFAULT_TRACE_CHUNK_ROWS
         )
+        perf_raw = os.environ.get("REPRO_PERF_HISTORY", "").strip()
+        if not perf_raw:
+            perf_history: Optional[str] = DEFAULT_PERF_HISTORY
+        elif perf_raw.lower() in FALSE_VALUES:
+            perf_history = None
+        else:
+            perf_history = perf_raw
 
         def _int_env(var: str, default: int, minimum: int = 0) -> int:
             try:
@@ -266,6 +285,7 @@ class RuntimeConfig:
             service_slow_ms=_float_env(
                 "REPRO_SERVICE_SLOW_MS", DEFAULT_SERVICE_SLOW_MS
             ),
+            perf_history=perf_history,
         )
 
 

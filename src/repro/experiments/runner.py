@@ -10,6 +10,11 @@ Subcommands:
   (:mod:`repro.service`, see docs/SERVICE.md).
 - ``bench``   — drive a load-generation run against a service (an
   already-running one, or ``--spawn`` a temporary in-process daemon).
+- ``watch``   — live ANSI dashboard for a running service
+  (``--once`` prints a single scrape snapshot for CI logs).
+- ``perf``    — the perf-history trajectory: ``perf
+  record|gate|report|trend|diff`` over ``perf-history.jsonl``
+  (:mod:`repro.perfwatch`, see docs/PERF.md).
 - ``goldens`` — regenerate the pinned golden references
   (``repro.fidelity.goldens``).
 
@@ -571,6 +576,11 @@ def _cmd_watch(argv) -> int:
         "--no-clear", action="store_true",
         help="append frames instead of repainting (for logs/pipes)",
     )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="print a single scrape snapshot and exit (CI logs; the "
+             "CLI twin of `perf record --scrape`)",
+    )
     args = parser.parse_args(argv)
     from repro.service.watch import watch
 
@@ -578,9 +588,15 @@ def _cmd_watch(argv) -> int:
         host=args.host or cfg.service_host,
         port=args.port or cfg.service_port,
         interval_s=args.interval,
-        iterations=args.iterations,
-        clear=not args.no_clear,
+        iterations=1 if args.once else args.iterations,
+        clear=not args.no_clear and not args.once,
     )
+
+
+def _cmd_perf(argv) -> int:
+    from repro.perfwatch.cli import main as perf_main
+
+    return perf_main(argv)
 
 
 def _cmd_goldens(argv) -> int:
@@ -605,6 +621,7 @@ _SUBCOMMANDS = {
     "serve": _cmd_serve,
     "bench": _cmd_bench,
     "watch": _cmd_watch,
+    "perf": _cmd_perf,
     "goldens": _cmd_goldens,
 }
 

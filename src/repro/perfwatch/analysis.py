@@ -1,0 +1,313 @@
+"""Statistical regression detection over a perf-history trajectory.
+
+The newest session in the history is the **candidate**; everything
+before it is the baseline.  For each metric the baseline contributes a
+trailing window of samples, summarized robustly:
+
+- center   = median(window)
+- sigma    = max(1.4826 * MAD, rel_floor * |median|, abs_floor)
+
+``1.4826 * MAD`` is the standard consistency constant making the median
+absolute deviation estimate a normal sigma; the relative and absolute
+floors keep a bit-deterministic metric (MAD = 0) from demanding
+impossible precision of a wall-clock measurement.  The candidate
+regresses when it exceeds ``median + k_sigma * sigma`` — only slowdowns
+gate; a faster sample passes (improvements are the point).
+
+Verdicts ride the fidelity layer's :class:`~repro.fidelity.drift.DriftReport`
+verbatim: one :class:`~repro.fidelity.drift.MetricDrift` per checked
+metric, ``status="missing"`` (which counts as a failure) when a metric
+the recent baseline tracks vanishes from the candidate — a deleted
+benchmark must be noticed, not silently un-gated — and ``status="new"``
+(informational) for metrics the candidate introduces.
+
+A metric is *required* of the candidate only when it appeared in each
+of the ``min_samples`` most recent baseline sessions **that measure the
+same source**: histories mix sources (bench sessions, service
+lifetimes, scrapes), and a bench-only CI job must not fail for service
+metrics it never measures.
+
+:func:`scan_changepoints` is the trajectory-wide companion: a simple
+two-window scan that flags the largest sustained level shift per
+metric, for "when did this get slower" archaeology rather than gating.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.tables import Table
+from repro.fidelity.drift import DriftReport, MetricDrift
+from repro.perfwatch.store import PerfHistory, SessionRecord
+
+#: MAD -> sigma consistency constant (normal distribution).
+MAD_SIGMA = 1.4826
+
+
+@dataclasses.dataclass(frozen=True)
+class GateParams:
+    """Tuning of the regression gate.
+
+    k_sigma     -- how many robust sigmas above the baseline median the
+                   candidate may sit before it fails (CI uses 4: wide
+                   enough for shared-runner noise, narrow enough that a
+                   10x slowdown is unmissable).
+    window      -- trailing baseline samples considered per metric.
+    min_samples -- baseline depth below which a metric is not judged
+                   (and not required of the candidate).
+    rel_floor   -- sigma floor as a fraction of |median|.
+    abs_floor   -- absolute sigma floor, in the metric's own units.
+    """
+
+    k_sigma: float = 4.0
+    window: int = 20
+    min_samples: int = 3
+    rel_floor: float = 0.05
+    abs_floor: float = 1e-4
+
+
+def robust_sigma(values: Sequence[float], params: GateParams) -> float:
+    """Floored MAD-based sigma estimate of a baseline window."""
+    med = statistics.median(values)
+    mad = statistics.median(abs(v - med) for v in values)
+    return max(MAD_SIGMA * mad,
+               params.rel_floor * abs(med),
+               params.abs_floor)
+
+
+@dataclasses.dataclass(frozen=True)
+class Changepoint:
+    """One detected level shift in a metric's trajectory."""
+
+    metric: str
+    index: int          # first sample of the "after" regime
+    session: str        # session id at that index
+    before: float       # median of the window before the split
+    after: float        # median of the window after the split
+    shift_sigma: float  # |after - before| as multiples of before-sigma
+
+    def row(self) -> List[object]:
+        return [self.metric, self.index, self.session[:12],
+                round(self.before, 6), round(self.after, 6),
+                round(self.shift_sigma, 2)]
+
+
+def scan_changepoints(
+    series: Dict[str, List[Tuple[SessionRecord, float]]],
+    params: GateParams,
+) -> List[Changepoint]:
+    """Largest two-window level shift per metric, if any clears k-sigma.
+
+    For every split point the medians of the trailing/leading windows
+    (capped at ``params.window``) are compared in units of the leading
+    window's robust sigma; the best-scoring split per metric is kept
+    when it exceeds ``k_sigma``.  Deterministic: ties keep the earliest
+    split, metrics are reported in sorted order.
+    """
+    out: List[Changepoint] = []
+    for metric in sorted(series):
+        points = series[metric]
+        values = [v for _, v in points]
+        n = len(values)
+        if n < 2 * params.min_samples:
+            continue
+        best: Optional[Changepoint] = None
+        for i in range(params.min_samples, n - params.min_samples + 1):
+            left = values[max(0, i - params.window):i]
+            right = values[i:i + params.window]
+            sigma = robust_sigma(left, params)
+            shift = abs(statistics.median(right)
+                        - statistics.median(left))
+            score = shift / sigma
+            if score > params.k_sigma and (
+                best is None or score > best.shift_sigma
+            ):
+                best = Changepoint(
+                    metric=metric, index=i,
+                    session=points[i][0].session,
+                    before=statistics.median(left),
+                    after=statistics.median(right),
+                    shift_sigma=round(score, 4),
+                )
+        if best is not None:
+            out.append(best)
+    return out
+
+
+@dataclasses.dataclass
+class PerfReport:
+    """Typed outcome of one regression gate over a history.
+
+    ``drift`` carries the per-metric verdicts in the fidelity layer's
+    own report type, so rendering, counting, and the exit-code contract
+    are shared with the golden-reference and SLO gates.
+    """
+
+    history: str                    # history path (label)
+    candidate: str                  # session id judged
+    params: GateParams
+    drift: DriftReport
+    changepoints: List[Changepoint]
+    checked: int                    # metrics with enough baseline depth
+    unchecked: int                  # metrics skipped for thin baselines
+    sessions: int                   # total sessions in the history
+
+    @property
+    def ok(self) -> bool:
+        return self.drift.ok
+
+    @property
+    def exit_code(self) -> int:
+        return self.drift.exit_code
+
+    @property
+    def regressions(self) -> List[MetricDrift]:
+        return self.drift.failures
+
+    def summary_line(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        return (
+            f"perf gate vs {self.history} "
+            f"[{self.sessions} sessions, candidate "
+            f"{self.candidate[:12] or 'none'}]: {verdict} "
+            f"({self.checked} checked, {self.unchecked} thin, "
+            f"{self.drift.n_fail} regressed, {self.drift.n_new} new, "
+            f"k={self.params.k_sigma:g})"
+        )
+
+    def changepoint_table(self) -> Table:
+        table = Table(
+            f"Perf changepoints (two-window scan, k={self.params.k_sigma:g})",
+            ["metric", "index", "session", "before", "after", "xsigma"],
+        )
+        for cp in self.changepoints:
+            table.add_row(cp.row())
+        return table
+
+    def to_markdown(self) -> str:
+        """Deterministic markdown artifact for CI logs and docs."""
+        lines = [
+            "# Performance report",
+            "",
+            f"- history: `{self.history}` ({self.sessions} sessions)",
+            f"- candidate session: `{self.candidate or 'none'}`",
+            f"- gate: k_sigma={self.params.k_sigma:g}, "
+            f"window={self.params.window}, "
+            f"min_samples={self.params.min_samples}",
+            f"- verdict: **{'PASS' if self.ok else 'FAIL'}** "
+            f"({self.checked} checked, {self.unchecked} thin, "
+            f"{self.drift.n_fail} regressed, {self.drift.n_new} new)",
+            "",
+            "## Regression gate",
+            "",
+            "```",
+            self.drift.to_table().render(),
+            "```",
+        ]
+        if self.changepoints:
+            lines += ["", "## Changepoints", "", "```",
+                      self.changepoint_table().render(), "```"]
+        return "\n".join(lines) + "\n"
+
+
+def detect_regressions(
+    history: PerfHistory,
+    params: GateParams = GateParams(),
+    metric_prefix: Optional[str] = None,
+) -> PerfReport:
+    """Gate the newest session of a history against its own past."""
+    sessions = history.sessions()
+    label = str(history.path)
+    if len(sessions) < 2:
+        empty = DriftReport(baseline=label, scale="history",
+                            entries=[], experiments=[], skipped=[])
+        return PerfReport(
+            history=label,
+            candidate=sessions[-1].session if sessions else "",
+            params=params, drift=empty, changepoints=[],
+            checked=0, unchecked=0, sessions=len(sessions),
+        )
+    candidate = sessions[-1]
+    baseline = sessions[:-1]
+
+    def keep(metric: str) -> bool:
+        return metric_prefix is None or metric.startswith(metric_prefix)
+
+    # Per-metric baseline series, trajectory order.
+    base_series: Dict[str, List[float]] = {}
+    for record in baseline:
+        for metric, value in record.metrics.items():
+            if keep(metric):
+                base_series.setdefault(metric, []).append(value)
+
+    # "Required" = tracked by each of the min_samples most recent
+    # baseline sessions of the candidate's own source.
+    recent_same_source = [r for r in baseline
+                          if r.source == candidate.source]
+    recent_same_source = recent_same_source[-params.min_samples:]
+    required = set()
+    if len(recent_same_source) >= params.min_samples:
+        required = set.intersection(
+            *(set(r.metrics) for r in recent_same_source)
+        )
+        required = {m for m in required if keep(m)}
+
+    entries: List[MetricDrift] = []
+    checked = unchecked = 0
+    for metric in sorted(base_series):
+        window = base_series[metric][-params.window:]
+        if len(window) < params.min_samples:
+            unchecked += 1
+            continue
+        med = statistics.median(window)
+        budget = params.k_sigma * robust_sigma(window, params)
+        if metric not in candidate.metrics:
+            if metric in required:
+                checked += 1
+                entries.append(MetricDrift(
+                    metric=metric, expected=med, actual=None,
+                    error=0.0, budget=budget, status="missing",
+                ))
+            else:
+                unchecked += 1
+            continue
+        checked += 1
+        actual = candidate.metrics[metric]
+        # Only slowdowns regress: error is the overshoot above median.
+        over = max(0.0, actual - med)
+        entries.append(MetricDrift(
+            metric=metric, expected=med, actual=actual,
+            error=over, budget=budget,
+            status="pass" if over <= budget else "fail",
+        ))
+    for metric in sorted(candidate.metrics):
+        if keep(metric) and metric not in base_series:
+            entries.append(MetricDrift(
+                metric=metric, expected=None,
+                actual=candidate.metrics[metric],
+                error=0.0, budget=0.0, status="new",
+            ))
+
+    families = sorted({e.metric.split("/", 1)[0] for e in entries})
+    drift = DriftReport(
+        baseline=label,
+        scale=candidate.scale or "mixed",
+        entries=entries,
+        experiments=families,
+        skipped=[],
+    )
+    full_series: Dict[str, List[Tuple[SessionRecord, float]]] = {}
+    for record in sessions:
+        for metric in sorted(record.metrics):
+            if keep(metric):
+                full_series.setdefault(metric, []).append(
+                    (record, record.metrics[metric])
+                )
+    changepoints = scan_changepoints(full_series, params)
+    return PerfReport(
+        history=label, candidate=candidate.session, params=params,
+        drift=drift, changepoints=changepoints,
+        checked=checked, unchecked=unchecked, sessions=len(sessions),
+    )

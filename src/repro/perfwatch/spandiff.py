@@ -1,0 +1,129 @@
+"""Cross-run span diffing: aligned self-time tables for two sessions.
+
+Two telemetry traces (JSONL files from ``runner --trace``, or parsed
+event lists) are each rolled up with
+:func:`repro.telemetry.profile.aggregate_spans` — the same self-vs-child
+attribution ``--profile`` prints live — then aligned by span name into
+one table with per-span deltas and a "what got slower" ranking by
+self-time increase.
+
+Everything here is a pure function of its inputs: values are rounded at
+fixed precision, rows sort on (delta, name), and no wall clock or
+environment leaks in, so diffing the same two traces twice yields
+byte-identical tables — the property the perf-history acceptance gate
+pins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterable, List
+
+from repro.common.tables import Table
+from repro.telemetry import parse_trace
+from repro.telemetry.profile import SpanAgg, aggregate_spans
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanDelta:
+    """One span name's aggregate timing in both sessions.
+
+    Counts/times are 0 for a span absent from one side (a span that
+    appeared or vanished between runs is itself a finding).
+    """
+
+    name: str
+    count_a: int
+    count_b: int
+    self_a: float
+    self_b: float
+    total_a: float
+    total_b: float
+
+    @property
+    def d_self(self) -> float:
+        """Self-time change, B minus A (positive = got slower)."""
+        return round(self.self_b - self.self_a, 6)
+
+    @property
+    def d_total(self) -> float:
+        return round(self.total_b - self.total_a, 6)
+
+    @property
+    def ratio(self) -> float:
+        """B/A self-time ratio; inf for spans new in B."""
+        if self.self_a <= 0.0:
+            return float("inf") if self.self_b > 0.0 else 1.0
+        return round(self.self_b / self.self_a, 4)
+
+    def row(self) -> List[object]:
+        ratio = self.ratio
+        return [
+            self.name, self.count_a, self.count_b,
+            round(self.self_a, 6), round(self.self_b, 6), self.d_self,
+            "inf" if ratio == float("inf") else ratio,
+        ]
+
+
+def diff_spans(
+    events_a: Iterable[Dict[str, Any]],
+    events_b: Iterable[Dict[str, Any]],
+) -> List[SpanDelta]:
+    """Aligned per-span deltas between two parsed traces.
+
+    Ordered by descending self-time increase, then name — the hot-path
+    "what got slower" ranking; improvements land at the bottom.
+    """
+
+    def by_name(events: Iterable[Dict[str, Any]]) -> Dict[str, SpanAgg]:
+        return {agg.name: agg for agg in aggregate_spans(events)}
+
+    a, b = by_name(events_a), by_name(events_b)
+    out: List[SpanDelta] = []
+    for name in sorted(set(a) | set(b)):
+        agg_a, agg_b = a.get(name), b.get(name)
+        out.append(SpanDelta(
+            name=name,
+            count_a=agg_a.count if agg_a else 0,
+            count_b=agg_b.count if agg_b else 0,
+            self_a=agg_a.self_s if agg_a else 0.0,
+            self_b=agg_b.self_s if agg_b else 0.0,
+            total_a=agg_a.total_s if agg_a else 0.0,
+            total_b=agg_b.total_s if agg_b else 0.0,
+        ))
+    out.sort(key=lambda d: (-d.d_self, d.name))
+    return out
+
+
+def diff_traces(path_a: str, path_b: str) -> List[SpanDelta]:
+    """:func:`diff_spans` over two JSONL trace files.
+
+    Truncated final lines are forgiven the same way the profiler's
+    offline path forgives them — a crashed run's trace is exactly the
+    kind of session worth diffing against a healthy one.
+    """
+    return diff_spans(parse_trace(path_a, allow_truncated=True),
+                      parse_trace(path_b, allow_truncated=True))
+
+
+def slower_spans(deltas: List[SpanDelta], n: int = 10) -> List[SpanDelta]:
+    """The top-n spans by self-time increase (slowdowns only)."""
+    return [d for d in deltas if d.d_self > 0.0][:n]
+
+
+def span_diff_table(
+    deltas: List[SpanDelta],
+    label_a: str = "A",
+    label_b: str = "B",
+    n: int = 20,
+) -> Table:
+    """Renderable aligned table of the top-n deltas."""
+    table = Table(
+        f"Span diff: {label_a} -> {label_b} "
+        f"(top {min(n, len(deltas))} by self-time change)",
+        ["span", "n_a", "n_b", "self_a_s", "self_b_s",
+         "d_self_s", "b/a"],
+    )
+    for delta in deltas[:n]:
+        table.add_row(delta.row())
+    return table

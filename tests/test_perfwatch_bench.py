@@ -1,0 +1,171 @@
+"""The benchmark-session recorder behind benchmarks/conftest.py.
+
+Outcome tracking, peak-RSS sampling, the lock-protected JSON-array
+append (including genuinely concurrent cross-process appends), and the
+dual-write into the perfwatch history.
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from types import SimpleNamespace
+
+from repro.perfwatch.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchRecorder,
+    append_bench_record,
+    dual_write_history,
+    read_bench_history,
+)
+from repro.perfwatch.store import PerfHistory
+
+
+def report(nodeid, when="call", outcome="passed", duration=1.0):
+    return SimpleNamespace(
+        nodeid=nodeid, when=when, duration=duration,
+        passed=outcome == "passed",
+        failed=outcome == "failed",
+        skipped=outcome == "skipped",
+    )
+
+
+class TestBenchRecorder:
+    def test_empty_until_observed(self):
+        recorder = BenchRecorder(scale="small")
+        assert recorder.empty
+        recorder.observe(report("t::a"))
+        assert not recorder.empty
+
+    def test_passed_call_contributes_timing_and_rss(self):
+        recorder = BenchRecorder(scale="small")
+        recorder.observe(report("t::a", duration=1.23456))
+        assert recorder.timings == {"t::a": 1.2346}
+        assert recorder.outcomes == {"t::a": "passed"}
+        assert recorder.rss_kb["t::a"] > 0
+
+    def test_failed_and_skipped_counted_but_not_timed(self):
+        recorder = BenchRecorder(scale="small")
+        recorder.observe(report("t::bad", outcome="failed"))
+        recorder.observe(report("t::skip", when="setup",
+                                outcome="skipped"))
+        assert recorder.timings == {}
+        assert recorder.outcomes == {"t::bad": "failed",
+                                     "t::skip": "skipped"}
+
+    def test_outcome_precedence_is_worst_wins(self):
+        recorder = BenchRecorder(scale="small")
+        recorder.observe(report("t::a", when="setup"))
+        recorder.observe(report("t::a"))
+        recorder.observe(report("t::a", when="teardown",
+                                outcome="failed"))
+        assert recorder.outcomes == {"t::a": "failed"}
+        # a timing was recorded at call time, but the verdict stands
+        assert "t::a" in recorder.timings
+
+    def test_record_schema(self):
+        recorder = BenchRecorder(scale="medium")
+        recorder.observe(report("t::b", duration=2.0))
+        recorder.observe(report("t::a", duration=1.0))
+        rec = recorder.record(
+            {"git": "abc", "host": "ci", "config": "cafe0123"}
+        )
+        assert rec["schema"] == BENCH_SCHEMA_VERSION
+        assert rec["scale"] == "medium"
+        assert rec["git"] == "abc" and rec["config"] == "cafe0123"
+        assert rec["total_s"] == 3.0
+        assert list(rec["tests"]) == ["t::a", "t::b"]  # sorted
+        assert set(rec["rss_kb"]) == {"t::a", "t::b"}
+        assert rec["timestamp"]
+
+    def test_rss_is_monotone_within_a_session(self):
+        recorder = BenchRecorder(scale="small")
+        recorder.observe(report("t::a"))
+        ballast = bytearray(8 << 20)  # grow the high-water mark
+        recorder.observe(report("t::b"))
+        del ballast
+        assert recorder.rss_kb["t::b"] >= recorder.rss_kb["t::a"]
+
+
+class TestAppend:
+    def test_append_creates_and_extends(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        first = append_bench_record(path, {"total_s": 1.0})
+        assert len(first) == 1
+        second = append_bench_record(path, {"total_s": 2.0})
+        assert [r["total_s"] for r in second] == [1.0, 2.0]
+        assert read_bench_history(path) == second
+        assert not path.with_name("BENCH.json.lock").exists()
+
+    def test_corrupt_file_resets_instead_of_crashing(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text("{not json")
+        history = append_bench_record(path, {"total_s": 1.0})
+        assert [r["total_s"] for r in history] == [1.0]
+
+    def test_read_missing_is_empty(self, tmp_path):
+        assert read_bench_history(tmp_path / "nope.json") == []
+
+
+def _hammer(path, worker, n):
+    for i in range(n):
+        append_bench_record(path, {"worker": worker, "seq": i})
+    return worker
+
+
+class TestConcurrentAppend:
+    def test_parallel_sessions_all_land(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        procs, per = 6, 2
+        with ProcessPoolExecutor(max_workers=procs) as pool:
+            futures = [pool.submit(_hammer, path, w, per)
+                       for w in range(procs)]
+            assert sorted(f.result() for f in futures) == list(
+                range(procs)
+            )
+        history = json.loads(path.read_text())
+        assert len(history) == procs * per
+        seen = {(r["worker"], r["seq"]) for r in history}
+        assert seen == {(w, i) for w in range(procs)
+                        for i in range(per)}
+
+
+class TestDualWrite:
+    def test_bench_session_lands_in_history(self, tmp_path):
+        recorder = BenchRecorder(scale="small")
+        recorder.observe(report("t::a", duration=1.5))
+        rec = recorder.record({"git": "abc", "host": "h",
+                               "config": "c0ffee00"})
+        history_path = tmp_path / "perf-history.jsonl"
+        assert dual_write_history(history_path, rec,
+                                  tags={"git": "abc", "host": "h",
+                                        "config": "c0ffee00"})
+        [session] = PerfHistory(history_path).sessions()
+        assert session.source == "bench"
+        assert session.metrics["bench/t::a"] == 1.5
+        assert session.metrics["bench/total_s"] == 1.5
+        assert session.metrics["benchrss/t::a"] > 0
+        assert session.git == "abc" and session.scale == "small"
+
+    def test_dual_write_is_idempotent(self, tmp_path):
+        recorder = BenchRecorder(scale="small")
+        recorder.observe(report("t::a"))
+        rec = recorder.record()
+        history_path = tmp_path / "h.jsonl"
+        tags = {"git": "g", "host": "h", "config": "cfg"}
+        assert dual_write_history(history_path, rec, tags)
+        assert not dual_write_history(history_path, rec, tags)
+        assert len(PerfHistory(history_path).sessions()) == 1
+
+    def test_failed_tests_ride_in_meta_not_metrics(self, tmp_path):
+        recorder = BenchRecorder(scale="small")
+        recorder.observe(report("t::ok", duration=1.0))
+        recorder.observe(report("t::bad", outcome="failed"))
+        recorder.observe(report("t::skip", when="setup",
+                                outcome="skipped"))
+        rec = recorder.record()
+        history_path = tmp_path / "h.jsonl"
+        assert dual_write_history(history_path, rec, tags={})
+        [session] = PerfHistory(history_path).sessions()
+        timed = [m for m in session.metrics
+                 if m.startswith("bench/") and m != "bench/total_s"]
+        assert timed == ["bench/t::ok"]
+        assert session.meta == {"skipped": 1, "failed": 1}
